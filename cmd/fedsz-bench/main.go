@@ -1,0 +1,81 @@
+// Command fedsz-bench regenerates the tables and figures of the FedSZ paper
+// (Wilkins et al., IPDPS 2024) from this module's from-scratch
+// implementation.
+//
+// Usage:
+//
+//	fedsz-bench                  # run every experiment at quick fidelity
+//	fedsz-bench -run fig8        # run one experiment
+//	fedsz-bench -run table1,fig4 # run a comma-separated subset
+//	fedsz-bench -full            # high-fidelity settings (slower)
+//	fedsz-bench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full   = flag.Bool("full", false, "high-fidelity configuration (slower)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		seed   = flag.Uint64("seed", 1, "base seed for synthetic data and training")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	cfg.Seed = *seed
+
+	var ids []string
+	if *runIDs == "" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Printf("FedSZ reproduction harness — %d experiment(s), %s mode, seed %d\n\n", len(ids), mode, cfg.Seed)
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		gen, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			failed++
+			continue
+		}
+		t0 := time.Now()
+		table, err := gen(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s generated in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

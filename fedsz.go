@@ -1,0 +1,125 @@
+// Package fedsz is the public API of this FedSZ reproduction: error-bounded
+// lossy compression for federated-learning model updates (Wilkins et al.,
+// IPDPS 2024).
+//
+// The pipeline compresses a model state dictionary by partitioning it into
+// large dense weight tensors — lossy-compressed with an error-bounded
+// compressor (SZ2 by default, at relative error bound 1e-2) — and the
+// remaining metadata, which is serialized and lossless-compressed (blosc-lz
+// by default). See the quickstart example:
+//
+//	sd := fedsz.NewStateDict()
+//	sd.Add("conv1.weight", fedsz.KindWeight, fedsz.NewTensor(weights, 64, 32, 3, 3))
+//	stream, stats, err := fedsz.Compress(sd, fedsz.Options{})
+//	...
+//	restored, err := fedsz.Decompress(stream)
+//
+// Sub-systems (the four EBLCs, the lossless codecs, the FL substrate, the
+// network simulator) live under internal/ and are exercised through this
+// package, the example programs, and the experiment harness in
+// cmd/fedsz-bench.
+package fedsz
+
+import (
+	"time"
+
+	"repro/internal/compressors"
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/lossless"
+	"repro/internal/netsim"
+	"repro/internal/tensor"
+)
+
+// Tensor is a dense float32 array with a shape (row-major).
+type Tensor = tensor.Tensor
+
+// StateDict is an ordered collection of named, kinded tensors — the Go
+// analogue of a PyTorch state_dict().
+type StateDict = tensor.StateDict
+
+// Kind classifies a state-dict entry for the partitioner.
+type Kind = tensor.Kind
+
+// Entry kinds (Algorithm 1 routes KindWeight tensors above the size
+// threshold to the lossy path; everything else goes lossless).
+const (
+	KindWeight      = tensor.KindWeight
+	KindBias        = tensor.KindBias
+	KindRunningStat = tensor.KindRunningStat
+	KindScalarMeta  = tensor.KindScalarMeta
+)
+
+// NewStateDict returns an empty state dict.
+func NewStateDict() *StateDict { return tensor.NewStateDict() }
+
+// NewTensor wraps data (not copied) with a shape.
+func NewTensor(data []float32, shape ...int) *Tensor { return tensor.FromData(data, shape...) }
+
+// Options configures the pipeline; the zero value is the paper's
+// recommended configuration (SZ2, REL 1e-2, blosc-lz, threshold 1024).
+type Options = core.Options
+
+// Stats reports what one Compress call did.
+type Stats = core.Stats
+
+// Params selects the error-control mode for the lossy compressor.
+type Params = ebcl.Params
+
+// RelBound returns a value-range-relative error bound (the SZ convention
+// the paper uses; 1e-2 is its recommended setting).
+func RelBound(eb float64) Params { return ebcl.Rel(eb) }
+
+// AbsBound returns an absolute error bound.
+func AbsBound(eb float64) Params { return ebcl.Abs(eb) }
+
+// Compress runs the FedSZ pipeline over a state dict.
+func Compress(sd *StateDict, opts Options) ([]byte, *Stats, error) {
+	return core.Compress(sd, opts)
+}
+
+// Decompress reverses Compress; the stream is self-describing.
+func Decompress(stream []byte) (*StateDict, error) {
+	sd, _, err := core.Decompress(stream)
+	return sd, err
+}
+
+// Compressor is an error-bounded lossy compressor over flat float32 data.
+type Compressor = ebcl.Compressor
+
+// CompressorByName returns one of the four EBLCs ("sz2", "sz3", "szx",
+// "zfp") for use in Options.Lossy.
+func CompressorByName(name string) (Compressor, error) { return compressors.Get(name) }
+
+// CompressorNames lists the available EBLCs.
+func CompressorNames() []string { return compressors.Names() }
+
+// RegisterCompressor adds a custom error-bounded compressor to the
+// registry so FedSZ streams produced with it can be decompressed (streams
+// carry the compressor name). Built-in names cannot be replaced. See
+// examples/customcodec for a full walk-through.
+func RegisterCompressor(name string, factory func() Compressor) error {
+	return compressors.Register(name, factory)
+}
+
+// LosslessCodec compresses the metadata partition.
+type LosslessCodec = lossless.Codec
+
+// LosslessByName returns a lossless codec ("blosclz", "zstdlike", "xzlike",
+// "gzip", "zlib") for use in Options.Lossless.
+func LosslessByName(name string) (LosslessCodec, error) { return lossless.Get(name) }
+
+// LosslessNames lists the available lossless codecs.
+func LosslessNames() []string { return lossless.Names() }
+
+// Link models a constrained network path for the Eqn-1 decision.
+type Link = netsim.Link
+
+// Decision is the outcome of the compress/don't-compress test.
+type Decision = netsim.Decision
+
+// ShouldCompress evaluates the paper's Equation 1: compression pays off
+// when tC + tD + S'/B < S/B.
+func ShouldCompress(tC, tD time.Duration, rawBytes, compressedBytes int, link Link) Decision {
+	return netsim.ShouldCompress(tC, tD, rawBytes, compressedBytes, link)
+}

@@ -1,0 +1,144 @@
+package fedsz
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// buildDemoDict assembles a state dict through the public API only.
+func buildDemoDict(rng *rand.Rand) *StateDict {
+	sd := NewStateDict()
+	w := make([]float32, 32*16*3*3)
+	for i := range w {
+		w[i] = float32(0.03 * (rng.ExpFloat64() - rng.ExpFloat64()))
+	}
+	sd.Add("conv.weight", KindWeight, NewTensor(w, 32, 16, 3, 3))
+	b := make([]float32, 32)
+	for i := range b {
+		b[i] = float32(0.01 * rng.NormFloat64())
+	}
+	sd.Add("conv.bias", KindBias, NewTensor(b, 32))
+	rm := make([]float32, 32)
+	sd.Add("bn.running_mean", KindRunningStat, NewTensor(rm, 32))
+	return sd
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sd := buildDemoDict(rng)
+	stream, stats, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ratio() < 2 {
+		t.Errorf("ratio %.2f", stats.Ratio())
+	}
+	got, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sd.Len() {
+		t.Fatalf("entries %d != %d", got.Len(), sd.Len())
+	}
+	// Bias must be exact (lossless path); weight within REL 1e-2.
+	for i, v := range sd.Get("conv.bias").Data {
+		if got.Get("conv.bias").Data[i] != v {
+			t.Fatal("bias not exact")
+		}
+	}
+	a := sd.Get("conv.weight").Data
+	bb := got.Get("conv.weight").Data
+	lo, hi := a[0], a[0]
+	for _, v := range a {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	bound := 1e-2 * float64(hi-lo)
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(bb[i])); d > bound*(1+1e-6) {
+			t.Fatalf("weight error %g exceeds %g", d, bound)
+		}
+	}
+}
+
+func TestCompressorSelection(t *testing.T) {
+	names := CompressorNames()
+	if len(names) != 4 {
+		t.Fatalf("want 4 EBLCs, got %v", names)
+	}
+	for _, n := range names {
+		c, err := CompressorByName(n)
+		if err != nil || c.Name() != n {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if _, err := CompressorByName("lz4"); err == nil {
+		t.Fatal("unknown compressor should error")
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	sd := buildDemoDict(rng)
+	for _, n := range names {
+		c, _ := CompressorByName(n)
+		stream, _, err := Compress(sd, Options{Lossy: c, LossyParams: RelBound(1e-2)})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if _, err := Decompress(stream); err != nil {
+			t.Fatalf("%s decompress: %v", n, err)
+		}
+	}
+}
+
+func TestLosslessSelection(t *testing.T) {
+	names := LosslessNames()
+	if len(names) != 5 {
+		t.Fatalf("want 5 codecs, got %v", names)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	sd := buildDemoDict(rng)
+	for _, n := range names {
+		codec, err := LosslessByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, _, err := Compress(sd, Options{Lossless: codec})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		got, err := Decompress(stream)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		for i, v := range sd.Get("bn.running_mean").Data {
+			if got.Get("bn.running_mean").Data[i] != v {
+				t.Fatalf("%s: metadata corrupted", n)
+			}
+		}
+	}
+}
+
+func TestShouldCompressAPI(t *testing.T) {
+	d := ShouldCompress(time.Second, time.Second, 100<<20, 10<<20, Link{BandwidthMbps: 10})
+	if !d.Compress {
+		t.Fatal("10 Mbps should favour compression")
+	}
+	d = ShouldCompress(time.Second, time.Second, 100<<20, 10<<20, Link{BandwidthMbps: 100000})
+	if d.Compress {
+		t.Fatal("100 Gbps should not favour compression")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if RelBound(1e-2).Value != 1e-2 || AbsBound(0.5).Value != 0.5 {
+		t.Fatal("bound helpers broken")
+	}
+	if RelBound(1e-2).Mode == AbsBound(1e-2).Mode {
+		t.Fatal("modes must differ")
+	}
+}

@@ -1,0 +1,241 @@
+// Package bitio provides MSB-first bit-level readers and writers used by the
+// entropy-coding stages of the lossy and lossless compressors in this module.
+//
+// Writer accumulates bits into an internal byte buffer; Reader consumes bits
+// from a byte slice. Both operate most-significant-bit first so that encoded
+// streams are byte-order independent and diffable.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a Reader runs out of bits mid-read.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bitstream")
+
+// Writer writes individual bits and fixed-width bit fields to an in-memory
+// buffer, most significant bit first. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bit accumulator, filled from the MSB side
+	nCur uint   // number of bits currently in cur (0..63)
+}
+
+// NewWriter returns a Writer whose internal buffer is pre-allocated to hold
+// sizeHint bytes. A zero or negative hint is treated as zero.
+func NewWriter(sizeHint int) *Writer {
+	w := &Writer{}
+	if sizeHint > 0 {
+		w.buf = make([]byte, 0, sizeHint)
+	}
+	return w
+}
+
+// flushFullBytes drains complete bytes from the accumulator.
+func (w *Writer) flushFullBytes() {
+	for w.nCur >= 8 {
+		w.buf = append(w.buf, byte(w.cur>>(w.nCur-8)))
+		w.nCur -= 8
+	}
+	w.cur &= 1<<w.nCur - 1
+}
+
+// WriteBit appends a single bit; any nonzero value writes 1.
+func (w *Writer) WriteBit(bit uint) {
+	w.cur <<= 1
+	if bit != 0 {
+		w.cur |= 1
+	}
+	w.nCur++
+	if w.nCur >= 56 {
+		w.flushFullBytes()
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant of those bits
+// first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", n))
+	}
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	if w.nCur+n <= 64 {
+		w.cur = w.cur<<n | v
+		w.nCur += n
+		if w.nCur >= 56 {
+			w.flushFullBytes()
+		}
+		return
+	}
+	hi := 64 - w.nCur // bits that still fit
+	w.cur = w.cur<<hi | v>>(n-hi)
+	w.nCur = 64
+	w.flushFullBytes()
+	rest := n - hi
+	w.cur = w.cur<<rest | v&(1<<rest-1)
+	w.nCur += rest
+	if w.nCur >= 56 {
+		w.flushFullBytes()
+	}
+}
+
+// WriteUnary writes v as v one-bits followed by a terminating zero-bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// WriteBytes appends whole bytes. The writer need not be byte aligned.
+func (w *Writer) WriteBytes(p []byte) {
+	w.flushFullBytes()
+	if w.nCur == 0 {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Align pads the current byte with zero bits up to the next byte boundary.
+func (w *Writer) Align() {
+	w.flushFullBytes()
+	if w.nCur != 0 {
+		w.WriteBits(0, 8-w.nCur)
+	}
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes returns the encoded stream, padding the final partial byte with zero
+// bits. The returned slice aliases the writer's buffer; the writer must not
+// be reused afterwards unless Reset is called.
+func (w *Writer) Bytes() []byte {
+	w.flushFullBytes()
+	if w.nCur != 0 {
+		b := byte(w.cur << (8 - w.nCur))
+		return append(w.buf, b)
+	}
+	return w.buf
+}
+
+// Reset discards all written data, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// Reader reads bits from a byte slice, most significant bit first.
+type Reader struct {
+	data []byte
+	pos  int  // byte index
+	nRem uint // bits remaining in data[pos] (8..1); 0 means advance
+}
+
+// NewReader returns a Reader over data. The slice is not copied.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data, nRem: 8}
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.data) {
+		return 0, ErrUnexpectedEOF
+	}
+	r.nRem--
+	bit := uint(r.data[r.pos]>>r.nRem) & 1
+	if r.nRem == 0 {
+		r.pos++
+		r.nRem = 8
+	}
+	return bit, nil
+}
+
+// ReadBits reads an n-bit big-endian field, n in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", n))
+	}
+	var v uint64
+	// Bulk path: take the remainder of the current byte, then whole bytes.
+	for n > 0 {
+		if r.pos >= len(r.data) {
+			return 0, ErrUnexpectedEOF
+		}
+		take := r.nRem
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.data[r.pos]>>(r.nRem-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.nRem -= take
+		n -= take
+		if r.nRem == 0 {
+			r.pos++
+			r.nRem = 8
+		}
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value (count of one-bits before a zero-bit).
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadBytes reads n whole bytes. The reader need not be byte aligned.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	if r.nRem == 8 {
+		// Fast path: byte aligned.
+		if r.pos+n > len(r.data) {
+			return nil, ErrUnexpectedEOF
+		}
+		copy(out, r.data[r.pos:r.pos+n])
+		r.pos += n
+		return out, nil
+	}
+	for i := range out {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Align skips forward to the next byte boundary.
+func (r *Reader) Align() {
+	if r.nRem != 8 {
+		r.pos++
+		r.nRem = 8
+	}
+}
+
+// BitsRemaining reports the number of unread bits.
+func (r *Reader) BitsRemaining() int {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	return (len(r.data)-r.pos-1)*8 + int(r.nRem)
+}

@@ -1,0 +1,210 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(0)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsWidths(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(0, 0) // zero-width write is a no-op
+	w.WriteBits(0x1234567890ABCDEF, 64)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("3-bit field: got %#x", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xFFFF {
+		t.Fatalf("16-bit field: got %#x", v)
+	}
+	if v, _ := r.ReadBits(64); v != 0x1234567890ABCDEF {
+		t.Fatalf("64-bit field: got %#x", v)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint64{0, 1, 2, 7, 63, 100}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("unary: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestWriteBytesAligned(t *testing.T) {
+	w := NewWriter(0)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	w.WriteBytes(payload)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got % x want % x", got, payload)
+	}
+}
+
+func TestWriteBytesUnaligned(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBit(1)
+	payload := []byte{0x01, 0x80, 0x55}
+	w.WriteBytes(payload)
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("leading bit lost")
+	}
+	got, err := r.ReadBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got % x want % x", got, payload)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b11, 2)
+	w.Align()
+	w.WriteBits(0xAB, 8)
+	out := w.Bytes()
+	if len(out) != 2 || out[0] != 0b11000000 || out[1] != 0xAB {
+		t.Fatalf("unexpected aligned output % x", out)
+	}
+	r := NewReader(out)
+	r.ReadBits(2)
+	r.Align()
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Fatalf("aligned read got %#x", v)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBytes(1); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestBitLenAndRemaining(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d want 13", w.BitLen())
+	}
+	r := NewReader(w.Bytes()) // padded to 16 bits
+	if r.BitsRemaining() != 16 {
+		t.Fatalf("BitsRemaining = %d want 16", r.BitsRemaining())
+	}
+	r.ReadBits(5)
+	if r.BitsRemaining() != 11 {
+		t.Fatalf("BitsRemaining = %d want 11", r.BitsRemaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatalf("BitLen after Reset = %d", w.BitLen())
+	}
+	w.WriteBits(0x0F, 4)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xF0 {
+		t.Fatalf("post-reset bytes % x", got)
+	}
+}
+
+// Property: any sequence of (value,width) fields round-trips exactly.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		count := int(n%64) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter(0)
+		for i := range vals {
+			widths[i] = uint(rng.IntN(64) + 1)
+			vals[i] = rng.Uint64() & (^uint64(0) >> (64 - widths[i]))
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 4096; j++ {
+			w.WriteBits(uint64(j), 13)
+		}
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for j := 0; j < 4096; j++ {
+		w.WriteBits(uint64(j), 13)
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		for j := 0; j < 4096; j++ {
+			r.ReadBits(13)
+		}
+	}
+}

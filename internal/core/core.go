@@ -1,0 +1,364 @@
+// Package core implements the FedSZ compression scheme itself — the paper's
+// primary contribution (Algorithm 1 and Figure 1):
+//
+//  1. Partition a model state dict into lossy-compressible dense weight
+//     tensors (kind == weight AND element count above a threshold) and the
+//     remaining metadata/non-weight tensors.
+//  2. Lossy-compress each weight tensor (flattened to 1-D) with an
+//     error-bounded lossy compressor; serialize and lossless-compress the
+//     remainder as one blob.
+//  3. Emit a single self-describing bitstream for transmission.
+//
+// Decompression reverses the pipeline and restores a state dict with the
+// original entry order, shapes, and kinds.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/lossless"
+	"repro/internal/sz2"
+	"repro/internal/tensor"
+)
+
+const (
+	streamMagic   = 0x46535A31 // "FSZ1"
+	streamVersion = 1
+
+	pathLossless = 0
+	pathLossy    = 1
+)
+
+// ErrCorrupt is returned for malformed FedSZ bitstreams.
+var ErrCorrupt = errors.New("core: corrupt FedSZ stream")
+
+// DefaultThreshold is Algorithm 1's size gate: weight tensors with at least
+// this many elements take the lossy path.
+const DefaultThreshold = 1024
+
+// Options configures the pipeline. The zero value selects the paper's
+// recommended configuration: SZ2 at relative error bound 1e-2 with blosc-lz
+// for the lossless partition.
+type Options struct {
+	// Lossy is the EBLC for weight tensors; nil selects SZ2.
+	Lossy ebcl.Compressor
+	// LossyParams is the error-control setting; zero selects REL 1e-2.
+	LossyParams ebcl.Params
+	// Lossless compresses the metadata partition; nil selects blosc-lz.
+	Lossless lossless.Codec
+	// Threshold gates the lossy path by element count; 0 selects
+	// DefaultThreshold. Negative disables the gate (threshold 0).
+	Threshold int
+	// DisablePartitioning routes *every* tensor through the lossy path —
+	// the ablation the paper warns causes "extreme degradation" (§V-C).
+	DisablePartitioning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lossy == nil {
+		o.Lossy = sz2.NewCompressor()
+	}
+	if o.LossyParams == (ebcl.Params{}) {
+		o.LossyParams = ebcl.Rel(1e-2)
+	}
+	if o.Lossless == nil {
+		o.Lossless = lossless.NewBloscLZ()
+	}
+	switch {
+	case o.Threshold == 0:
+		o.Threshold = DefaultThreshold
+	case o.Threshold < 0:
+		o.Threshold = 0
+	}
+	return o
+}
+
+// Stats reports what one Compress call did.
+type Stats struct {
+	RawBytes        int // full serialized state dict size (4 B / element)
+	CompressedBytes int // emitted stream size
+
+	LossyTensors    int
+	LossyRaw        int
+	LossyCompressed int
+
+	LosslessTensors    int
+	LosslessRaw        int
+	LosslessCompressed int
+
+	CompressTime time.Duration
+}
+
+// Ratio returns the end-to-end compression ratio.
+func (s *Stats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.CompressedBytes)
+}
+
+// LossyRatio returns the ratio achieved on the weight partition alone.
+func (s *Stats) LossyRatio() float64 {
+	if s.LossyCompressed == 0 {
+		return 0
+	}
+	return float64(s.LossyRaw) / float64(s.LossyCompressed)
+}
+
+// takesLossyPath applies Algorithm 1 line 4.
+func takesLossyPath(e tensor.Entry, o Options) bool {
+	if o.DisablePartitioning {
+		return true
+	}
+	return e.Kind == tensor.KindWeight && e.Tensor.NumElems() > o.Threshold
+}
+
+// Compress runs the FedSZ pipeline over a state dict.
+func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	stats := &Stats{RawBytes: sd.SizeBytes()}
+
+	out := make([]byte, 0, sd.SizeBytes()/4+256)
+	out = binary.LittleEndian.AppendUint32(out, streamMagic)
+	out = append(out, streamVersion)
+	out = appendString(out, o.Lossy.Name())
+	out = appendString(out, o.Lossless.Name())
+
+	entries := sd.Entries()
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+
+	// Route entries; the path flag array preserves original order.
+	flags := make([]byte, len(entries))
+	rest := tensor.NewStateDict()
+	type lossyMeta struct {
+		name  string
+		kind  tensor.Kind
+		shape []int
+		data  []float32
+	}
+	var lossyMetas []lossyMeta
+	for i, e := range entries {
+		if takesLossyPath(e, o) {
+			flags[i] = pathLossy
+			lossyMetas = append(lossyMetas, lossyMeta{e.Name, e.Kind, e.Tensor.Shape, e.Tensor.Data})
+			stats.LossyTensors++
+			stats.LossyRaw += e.Tensor.SizeBytes()
+		} else {
+			flags[i] = pathLossless
+			rest.Add(e.Name, e.Kind, e.Tensor)
+			stats.LosslessTensors++
+			stats.LosslessRaw += e.Tensor.SizeBytes()
+		}
+	}
+	out = append(out, flags...)
+
+	// Compress the lossy tensors concurrently (one goroutine per tensor,
+	// bounded by GOMAXPROCS); output order stays the state-dict order
+	// because blobs are written back by index.
+	lossyBlobs := make([][]byte, len(lossyMetas))
+	errs := make([]error, len(lossyMetas))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range lossyMetas {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lossyBlobs[i], errs[i] = o.Lossy.Compress(lossyMetas[i].data, o.LossyParams)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
+		}
+		stats.LossyCompressed += len(lossyBlobs[i])
+	}
+
+	// Lossy partition: per-tensor metadata + blob.
+	for i, m := range lossyMetas {
+		out = appendString(out, m.name)
+		out = append(out, byte(m.kind), byte(len(m.shape)))
+		for _, d := range m.shape {
+			out = binary.LittleEndian.AppendUint32(out, uint32(d))
+		}
+		out = ebcl.AppendSection(out, lossyBlobs[i])
+	}
+
+	// Lossless partition: serialize (the paper pickles) then compress once.
+	restBlob, err := o.Lossless.Compress(rest.Marshal())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: lossless compress: %w", err)
+	}
+	stats.LosslessCompressed = len(restBlob)
+	out = ebcl.AppendSection(out, restBlob)
+
+	stats.CompressedBytes = len(out)
+	stats.CompressTime = time.Since(start)
+	return out, stats, nil
+}
+
+// DecompressStats reports what one Decompress call did.
+type DecompressStats struct {
+	DecompressTime time.Duration
+}
+
+// Decompress reverses Compress. The stream is self-describing: the lossy
+// compressor and lossless codec are selected by the names it carries.
+func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
+	start := time.Now()
+	pos := 0
+	if len(stream) < 5 || binary.LittleEndian.Uint32(stream) != streamMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if stream[4] != streamVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
+	}
+	pos = 5
+	lossyName, pos, err := readString(stream, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	losslessName, pos, err := readString(stream, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	lossy, err := compressors.Get(lossyName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	codec, err := lossless.Get(losslessName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if pos+4 > len(stream) {
+		return nil, nil, ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(stream[pos:]))
+	pos += 4
+	if pos+count > len(stream) {
+		return nil, nil, ErrCorrupt
+	}
+	flags := stream[pos : pos+count]
+	pos += count
+
+	nLossy := 0
+	for _, f := range flags {
+		switch f {
+		case pathLossy:
+			nLossy++
+		case pathLossless:
+		default:
+			return nil, nil, ErrCorrupt
+		}
+	}
+
+	type lossyEntry struct {
+		name  string
+		kind  tensor.Kind
+		shape []int
+		data  []float32
+	}
+	lossyEntries := make([]lossyEntry, 0, nLossy)
+	for i := 0; i < nLossy; i++ {
+		var e lossyEntry
+		e.name, pos, err = readString(stream, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pos+2 > len(stream) {
+			return nil, nil, ErrCorrupt
+		}
+		e.kind = tensor.Kind(stream[pos])
+		rank := int(stream[pos+1])
+		pos += 2
+		if pos+4*rank > len(stream) {
+			return nil, nil, ErrCorrupt
+		}
+		e.shape = make([]int, rank)
+		n := 1
+		for d := range e.shape {
+			e.shape[d] = int(binary.LittleEndian.Uint32(stream[pos:]))
+			n *= e.shape[d]
+			pos += 4
+		}
+		var blob []byte
+		blob, pos, err = ebcl.ReadSection(stream, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.data, err = lossy.Decompress(blob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: lossy decompress %q: %w", e.name, err)
+		}
+		if len(e.data) != n {
+			return nil, nil, fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(e.data), n)
+		}
+		lossyEntries = append(lossyEntries, e)
+	}
+
+	restBlob, _, err := ebcl.ReadSection(stream, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	restRaw, err := codec.Decompress(restBlob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: lossless decompress: %w", err)
+	}
+	rest, err := tensor.UnmarshalStateDict(restRaw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: metadata decode: %w", err)
+	}
+
+	// Re-interleave to the original order.
+	out := tensor.NewStateDict()
+	li, ri := 0, 0
+	restEntries := rest.Entries()
+	for _, f := range flags {
+		if f == pathLossy {
+			if li >= len(lossyEntries) {
+				return nil, nil, ErrCorrupt
+			}
+			e := lossyEntries[li]
+			li++
+			out.Add(e.name, e.kind, tensor.FromData(e.data, e.shape...))
+		} else {
+			if ri >= len(restEntries) {
+				return nil, nil, ErrCorrupt
+			}
+			e := restEntries[ri]
+			ri++
+			out.Add(e.Name, e.Kind, e.Tensor)
+		}
+	}
+	return out, &DecompressStats{DecompressTime: time.Since(start)}, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > 255 {
+		panic(fmt.Sprintf("core: string too long (%d)", len(s)))
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte, pos int) (string, int, error) {
+	if pos >= len(src) {
+		return "", 0, ErrCorrupt
+	}
+	l := int(src[pos])
+	pos++
+	if pos+l > len(src) {
+		return "", 0, ErrCorrupt
+	}
+	return string(src[pos : pos+l]), pos + l, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+)
+
+// TestDecompressRandomCorruption flips random bytes in valid FedSZ streams
+// and asserts the decoder neither panics nor hangs — it must return an
+// error or a structurally valid dict. (Hostile length fields used to be
+// able to trigger multi-gigabyte allocations; the decoders now bound their
+// first allocations by the available input.)
+func TestDecompressRandomCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	sd := modelDict(rng)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		bad := append([]byte(nil), stream...)
+		flips := rng.IntN(4) + 1
+		for f := 0; f < flips; f++ {
+			bad[rng.IntN(len(bad))] ^= byte(rng.IntN(255) + 1)
+		}
+		done := make(chan struct{})
+		go func(b []byte) {
+			defer close(done)
+			got, _, err := Decompress(b)
+			if err == nil && got == nil {
+				t.Error("nil dict with nil error")
+			}
+		}(bad)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("trial %d: decompress hung", trial)
+		}
+	}
+}
+
+// TestDecompressTruncationSweep truncates a valid stream at every length
+// and asserts clean failure.
+func TestDecompressTruncationSweep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(79, 80))
+	sd := modelDict(rng)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(stream)/200 + 1
+	for l := 0; l < len(stream); l += step {
+		if _, _, err := Decompress(stream[:l]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", l, len(stream))
+		}
+	}
+}
+
+// TestEBLCStreamCorruption runs the same random-flip discipline directly
+// against each EBLC decoder.
+func TestEBLCStreamCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	data := eblctest.WeightLike(rng, 4096)
+	for _, name := range compressors.Names() {
+		comp, err := compressors.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := comp.Compress(data, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 150; trial++ {
+			bad := append([]byte(nil), stream...)
+			bad[rng.IntN(len(bad))] ^= byte(rng.IntN(255) + 1)
+			out, err := comp.Decompress(bad)
+			if err == nil && len(out) != len(data) && len(out) > ebcl.MaxElements {
+				t.Fatalf("%s: corrupt stream produced %d elements", name, len(out))
+			}
+		}
+	}
+}

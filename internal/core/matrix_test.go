@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/lossless"
+	"repro/internal/tensor"
+)
+
+// TestFullCodecMatrix exercises every (EBLC × lossless codec) pairing
+// through the complete pipeline — the integration surface the paper's
+// compressor-selection study sweeps.
+func TestFullCodecMatrix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	sd := modelDict(rng)
+	for _, lossyName := range compressors.Names() {
+		for _, codecName := range lossless.Names() {
+			lossy, err := compressors.Get(lossyName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			codec, err := lossless.Get(codecName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, stats, err := Compress(sd, Options{
+				Lossy:       lossy,
+				LossyParams: ebcl.Rel(1e-2),
+				Lossless:    codec,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s compress: %v", lossyName, codecName, err)
+			}
+			if stats.Ratio() <= 1 {
+				t.Errorf("%s/%s: ratio %.2f <= 1", lossyName, codecName, stats.Ratio())
+			}
+			got, _, err := Decompress(stream)
+			if err != nil {
+				t.Fatalf("%s/%s decompress: %v", lossyName, codecName, err)
+			}
+			// Lossless partition must always be exact regardless of pairing.
+			for _, name := range []string{"conv1.bias", "bn1.running_mean", "bn1.num_batches_tracked"} {
+				a, b := sd.Get(name), got.Get(name)
+				for i := range a.Data {
+					if a.Data[i] != b.Data[i] {
+						t.Fatalf("%s/%s: %s corrupted", lossyName, codecName, name)
+					}
+				}
+			}
+			// Lossy partition within bound — except ZFP's fixed-precision
+			// proxy, which is only approximately bounded (paper §V-D1).
+			a, b := sd.Get("conv1.weight"), got.Get("conv1.weight")
+			ebAbs := 1e-2 * ebcl.ValueRange(a.Data)
+			limit := ebAbs
+			if lossyName == "zfp" {
+				limit = 8 * ebAbs
+			}
+			if gotErr := ebcl.MaxAbsError(a.Data, b.Data); gotErr > limit*(1+1e-6) {
+				t.Fatalf("%s/%s: weight error %g exceeds %g", lossyName, codecName, gotErr, limit)
+			}
+		}
+	}
+}
+
+// TestParallelCompressionDeterministic verifies the concurrent per-tensor
+// compression emits byte-identical streams across runs (ordering is by
+// index, not completion).
+func TestParallelCompressionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 45))
+	// Many lossy tensors to actually exercise the worker pool.
+	sd := modelDict(rng)
+	for i := 0; i < 12; i++ {
+		extra := make([]float32, 5000)
+		for j := range extra {
+			extra[j] = float32(0.02 * rng.NormFloat64())
+		}
+		sd.Add(string(rune('a'+i))+".weight", tensor.KindWeight, tensor.FromData(extra, len(extra)))
+	}
+	s1, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("streams differ at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// ScientificField synthesizes a smooth 1-D slice shaped like the MIRANDA
+// hydrodynamics snapshots of paper Figure 2(b): a band-limited multi-scale
+// signal with a slow drift, standing in for the SDRBench data that is not
+// available offline. Its defining property — high local smoothness relative
+// to FL weight data — is what Figure 2 contrasts.
+func ScientificField(seed uint64, n int) []float32 {
+	rng := rand.New(rand.NewPCG(seed, 0x5C1F))
+	out := make([]float32, n)
+	type mode struct{ freq, phase, amp float64 }
+	modes := make([]mode, 8)
+	for i := range modes {
+		modes[i] = mode{
+			freq:  math.Pow(2, float64(i))/2 + rng.Float64(),
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   2 / math.Pow(1.8, float64(i)), // red spectrum: energy at low freq
+		}
+	}
+	drift := rng.Float64()*2 - 1
+	for i := range out {
+		x := float64(i) / float64(n)
+		v := 2.5 + drift*x
+		for _, m := range modes {
+			v += m.amp * math.Sin(2*math.Pi*m.freq*x+m.phase)
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Smoothness returns the mean absolute first difference divided by the
+// value range — the metric the Figure 2 experiment uses to quantify
+// "spiky vs smooth". Lower is smoother.
+func Smoothness(data []float32) float64 {
+	if len(data) < 2 {
+		return 0
+	}
+	min, max := data[0], data[0]
+	var sum float64
+	for i := 1; i < len(data); i++ {
+		sum += math.Abs(float64(data[i]) - float64(data[i-1]))
+		if data[i] < min {
+			min = data[i]
+		}
+		if data[i] > max {
+			max = data[i]
+		}
+	}
+	r := float64(max) - float64(min)
+	if r == 0 {
+		return 0
+	}
+	return sum / float64(len(data)-1) / r
+}

@@ -1,0 +1,137 @@
+// Package ebcl defines the shared machinery for the error-bounded lossy
+// compressors (EBLCs) evaluated by FedSZ: the Compressor interface, error
+// bound modes, the linear quantizer used by the prediction-based compressors
+// (SZ2, SZ3), and verification helpers.
+//
+// Error bound semantics follow the SZ convention: a *relative* bound eb
+// means the absolute reconstruction error of every element is at most
+// eb × (max − min) of the input array. This global value-range
+// interpretation is load-bearing for reproducing the paper: model weights
+// cluster near zero inside a ±1 envelope, so a relative bound of 1e-2
+// translates to a sizeable absolute bound around the near-zero mass.
+package ebcl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mode selects how the bound parameter is interpreted.
+type Mode uint8
+
+const (
+	// ModeRelative bounds error by Value × (max − min) of the input.
+	ModeRelative Mode = iota
+	// ModeAbsolute bounds error by Value directly.
+	ModeAbsolute
+	// ModeFixedPrecision keeps int(Value) bit planes per value (ZFP's
+	// closest analogue to a relative mode, per the paper §V-D1).
+	ModeFixedPrecision
+)
+
+// String returns the mode's conventional name.
+func (m Mode) String() string {
+	switch m {
+	case ModeRelative:
+		return "REL"
+	case ModeAbsolute:
+		return "ABS"
+	case ModeFixedPrecision:
+		return "PREC"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Params carries the error-control configuration for one compression call.
+type Params struct {
+	Mode  Mode
+	Value float64 // bound for REL/ABS; plane count for PREC
+}
+
+// Rel is shorthand for a relative error bound.
+func Rel(eb float64) Params { return Params{Mode: ModeRelative, Value: eb} }
+
+// Abs is shorthand for an absolute error bound.
+func Abs(eb float64) Params { return Params{Mode: ModeAbsolute, Value: eb} }
+
+// Precision is shorthand for ZFP-style fixed precision.
+func Precision(bits int) Params { return Params{Mode: ModeFixedPrecision, Value: float64(bits)} }
+
+// ErrCorrupt is returned when a compressed stream fails validation.
+var ErrCorrupt = errors.New("ebcl: corrupt compressed stream")
+
+// Compressor is an error-bounded lossy compressor over 1-D float32 arrays
+// (FL model updates are flattened before compression, paper Algorithm 1).
+type Compressor interface {
+	// Name returns the compressor's registry name ("sz2", "sz3", ...).
+	Name() string
+	// Compress encodes data under the given error-control parameters.
+	Compress(data []float32, p Params) ([]byte, error)
+	// Decompress reconstructs the (lossy) array from a Compress output.
+	Decompress(stream []byte) ([]float32, error)
+}
+
+// ValueRange returns max − min of data (0 for empty input).
+func ValueRange(data []float32) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	min, max := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) - float64(min)
+}
+
+// ResolveAbs converts p into an absolute error bound for data. For
+// ModeFixedPrecision it returns 0 (no formal bound).
+func ResolveAbs(data []float32, p Params) (float64, error) {
+	switch p.Mode {
+	case ModeRelative:
+		if p.Value <= 0 {
+			return 0, fmt.Errorf("ebcl: relative bound must be positive, got %g", p.Value)
+		}
+		return p.Value * ValueRange(data), nil
+	case ModeAbsolute:
+		if p.Value <= 0 {
+			return 0, fmt.Errorf("ebcl: absolute bound must be positive, got %g", p.Value)
+		}
+		return p.Value, nil
+	case ModeFixedPrecision:
+		if p.Value < 1 || p.Value > 32 {
+			return 0, fmt.Errorf("ebcl: precision must be in [1,32], got %g", p.Value)
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("ebcl: unknown mode %v", p.Mode)
+	}
+}
+
+// MaxAbsError returns the largest |a[i]−b[i]|; the slices must be equal
+// length.
+func MaxAbsError(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ebcl: length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// WithinBound reports whether every reconstructed value is within ebAbs of
+// the original, with a tiny epsilon slack for float32 rounding.
+func WithinBound(orig, recon []float32, ebAbs float64) bool {
+	return MaxAbsError(orig, recon) <= ebAbs*(1+1e-6)+1e-12
+}

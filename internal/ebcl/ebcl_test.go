@@ -1,0 +1,183 @@
+package ebcl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValueRange(t *testing.T) {
+	cases := []struct {
+		data []float32
+		want float64
+	}{
+		{nil, 0},
+		{[]float32{5}, 0},
+		{[]float32{1, 2, 3}, 2},
+		{[]float32{-1, 1}, 2},
+		{[]float32{-3.5, -1.5}, 2},
+	}
+	for i, c := range cases {
+		if got := ValueRange(c.data); got != c.want {
+			t.Errorf("case %d: ValueRange = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestResolveAbs(t *testing.T) {
+	data := []float32{-1, 1} // range 2
+	if eb, err := ResolveAbs(data, Rel(0.01)); err != nil || math.Abs(eb-0.02) > 1e-15 {
+		t.Fatalf("Rel: eb=%v err=%v", eb, err)
+	}
+	if eb, err := ResolveAbs(data, Abs(0.5)); err != nil || eb != 0.5 {
+		t.Fatalf("Abs: eb=%v err=%v", eb, err)
+	}
+	if eb, err := ResolveAbs(data, Precision(10)); err != nil || eb != 0 {
+		t.Fatalf("Precision: eb=%v err=%v", eb, err)
+	}
+	for _, bad := range []Params{Rel(0), Rel(-1), Abs(0), Precision(0), Precision(64), {Mode: Mode(9)}} {
+		if _, err := ResolveAbs(data, bad); err == nil {
+			t.Errorf("params %+v: want error", bad)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRelative.String() != "REL" || ModeAbsolute.String() != "ABS" || ModeFixedPrecision.String() != "PREC" {
+		t.Fatal("mode names changed")
+	}
+}
+
+func TestQuantizerBasics(t *testing.T) {
+	q := NewQuantizer(0.01)
+	// Residual exactly representable.
+	code, recon, ok := q.Quantize(1.04, 1.0)
+	if !ok {
+		t.Fatal("should be quantizable")
+	}
+	if code != QuantRadius+2 {
+		t.Fatalf("code = %d want %d", code, QuantRadius+2)
+	}
+	if math.Abs(float64(recon)-1.04) > 0.01 {
+		t.Fatalf("recon %v too far from 1.04", recon)
+	}
+	if got := q.Dequantize(code, 1.0); got != recon {
+		t.Fatalf("Dequantize mismatch: %v != %v", got, recon)
+	}
+}
+
+func TestQuantizerEscapes(t *testing.T) {
+	q := NewQuantizer(0.01)
+	// Residual beyond the code range must escape.
+	if _, _, ok := q.Quantize(1000, 0); ok {
+		t.Fatal("huge residual should escape")
+	}
+	// Non-finite values must escape rather than poison the stream.
+	if _, _, ok := q.Quantize(math.NaN(), 0); ok {
+		t.Fatal("NaN should escape")
+	}
+	if _, _, ok := q.Quantize(math.Inf(1), 0); ok {
+		t.Fatal("+Inf should escape")
+	}
+}
+
+func TestQuantizerBoundHolds(t *testing.T) {
+	for _, eb := range []float64{1e-1, 1e-3, 1e-6} {
+		q := NewQuantizer(eb)
+		pred := 0.37
+		for i := -3000; i <= 3000; i++ {
+			orig := pred + float64(i)*eb*0.731
+			code, recon, ok := q.Quantize(orig, pred)
+			if !ok {
+				continue
+			}
+			if err := math.Abs(float64(recon) - orig); err > eb*(1+1e-9) {
+				t.Fatalf("eb=%g i=%d: error %g exceeds bound (code %d)", eb, i, err, code)
+			}
+		}
+	}
+}
+
+func TestQuantizerZeroBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-positive bound")
+		}
+	}()
+	NewQuantizer(0)
+}
+
+func TestMaxAbsErrorAndWithinBound(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1.1, 2, 2.8}
+	if got := MaxAbsError(a, b); math.Abs(got-0.2) > 1e-6 {
+		t.Fatalf("MaxAbsError = %v", got)
+	}
+	if !WithinBound(a, b, 0.21) {
+		t.Fatal("WithinBound false negative")
+	}
+	if WithinBound(a, b, 0.1) {
+		t.Fatal("WithinBound false positive")
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendSection(buf, []byte("hello"))
+	buf = AppendSection(buf, nil)
+	buf = AppendSection(buf, []byte{1, 2, 3})
+	s1, pos, err := ReadSection(buf, 0)
+	if err != nil || string(s1) != "hello" {
+		t.Fatalf("s1=%q err=%v", s1, err)
+	}
+	s2, pos, err := ReadSection(buf, pos)
+	if err != nil || len(s2) != 0 {
+		t.Fatalf("s2=%q err=%v", s2, err)
+	}
+	s3, _, err := ReadSection(buf, pos)
+	if err != nil || len(s3) != 3 {
+		t.Fatalf("s3=%v err=%v", s3, err)
+	}
+	if _, _, err := ReadSection(buf, len(buf)); err == nil {
+		t.Fatal("read past end should fail")
+	}
+	if _, _, err := ReadSection([]byte{0xFF}, 0); err == nil {
+		t.Fatal("truncated varint should fail")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := AppendHeader(nil, 0xCAFE, 12345, LayoutFull)
+	n, layout, rest, err := ParseHeader(buf, 0xCAFE)
+	if err != nil || n != 12345 || layout != LayoutFull || len(rest) != 0 {
+		t.Fatalf("n=%d layout=%d err=%v", n, layout, err)
+	}
+	if _, _, _, err := ParseHeader(buf, 0xBEEF); err == nil {
+		t.Fatal("wrong magic should fail")
+	}
+	if _, _, _, err := ParseHeader(buf[:4], 0xCAFE); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestLosslessStage(t *testing.T) {
+	payload := make([]byte, 4096) // all zeros: highly compressible
+	out := AppendLosslessStage(nil, payload, false)
+	if len(out) >= len(payload) {
+		t.Fatalf("stage did not compress: %d >= %d", len(out), len(payload))
+	}
+	back, err := ReadLosslessStage(out)
+	if err != nil || len(back) != len(payload) {
+		t.Fatalf("round trip: len=%d err=%v", len(back), err)
+	}
+	// Disabled stage stores raw.
+	raw := AppendLosslessStage(nil, payload, true)
+	if len(raw) != len(payload)+1 || raw[0] != 0 {
+		t.Fatal("disabled stage should store raw")
+	}
+	if _, err := ReadLosslessStage(nil); err == nil {
+		t.Fatal("empty stage should fail")
+	}
+	if _, err := ReadLosslessStage([]byte{7}); err == nil {
+		t.Fatal("bad mode byte should fail")
+	}
+}

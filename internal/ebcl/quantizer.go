@@ -1,0 +1,67 @@
+package ebcl
+
+// The linear quantizer shared by the prediction-based compressors (SZ2,
+// SZ3). Prediction residuals are mapped to integer codes in bins of width
+// 2·ebAbs, guaranteeing |reconstructed − original| ≤ ebAbs. Residuals whose
+// code would fall outside ±(Radius−1) take the escape code 0 and are stored
+// as uncompressed IEEE-754 literals ("unpredictable points" in SZ jargon).
+
+const (
+	// QuantRadius is the half-width of the quantization code alphabet.
+	QuantRadius = 2048
+	// QuantAlphabet is the total symbol count: escape code 0 plus
+	// 2·Radius−1 residual codes centered at QuantRadius.
+	QuantAlphabet = 2 * QuantRadius
+	// EscapeCode marks an unpredictable point stored as a literal.
+	EscapeCode = 0
+)
+
+// Quantizer maps residuals to codes and back for a fixed absolute bound.
+type Quantizer struct {
+	ebAbs    float64
+	binWidth float64 // 2 · ebAbs
+}
+
+// NewQuantizer returns a quantizer for the given absolute bound. ebAbs must
+// be positive.
+func NewQuantizer(ebAbs float64) *Quantizer {
+	if ebAbs <= 0 {
+		panic("ebcl: quantizer requires positive bound")
+	}
+	return &Quantizer{ebAbs: ebAbs, binWidth: 2 * ebAbs}
+}
+
+// Quantize returns the code for original given the prediction pred, and the
+// value the decoder will reconstruct. ok is false when the residual exceeds
+// the code range — the caller must emit EscapeCode and a literal.
+func (q *Quantizer) Quantize(original, pred float64) (code int, recon float32, ok bool) {
+	resid := original - pred
+	scaled := resid / q.binWidth
+	// The comparison form also rejects NaN and ±Inf residuals (from
+	// non-finite inputs), which must be stored as literals.
+	if !(scaled > -(QuantRadius-0.5) && scaled < QuantRadius-0.5) {
+		return EscapeCode, 0, false
+	}
+	k := int(fastRound(scaled))
+	rec := pred + float64(k)*q.binWidth
+	// float32 rounding of the reconstruction can nudge the error past the
+	// bound near bin edges; verify and escape when it does.
+	rec32 := float32(rec)
+	diff := original - float64(rec32)
+	if !(diff <= q.ebAbs && diff >= -q.ebAbs) {
+		return EscapeCode, 0, false
+	}
+	return k + QuantRadius, rec32, true
+}
+
+// Dequantize reconstructs a value from a non-escape code and a prediction.
+func (q *Quantizer) Dequantize(code int, pred float64) float32 {
+	return float32(pred + float64(code-QuantRadius)*q.binWidth)
+}
+
+func fastRound(x float64) float64 {
+	if x >= 0 {
+		return float64(int64(x + 0.5))
+	}
+	return float64(int64(x - 0.5))
+}

@@ -1,0 +1,101 @@
+package ebcl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/lossless"
+)
+
+// Shared stream framing for the SZ-family compressors: length-prefixed
+// sections, a common header layout, and the optional trailing lossless
+// stage (SZ2/SZ3 run Zstd after Huffman; we use the zstd-like codec).
+
+// Layout identifiers for the byte following the common header.
+const (
+	LayoutEmpty    = 0 // zero-length input
+	LayoutConstant = 1 // zero value range: single repeated value
+	LayoutFull     = 2 // full compression pipeline
+)
+
+// AppendHeader writes the common header: magic, element count, layout byte.
+func AppendHeader(dst []byte, magic uint32, n int, layout byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, magic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	return append(dst, layout)
+}
+
+// MaxElements caps the element count a stream header may declare (256 Mi
+// elements = 1 GiB of float32), rejecting hostile headers before any large
+// allocation. The largest model in the paper is 60 M parameters.
+const MaxElements = 1 << 28
+
+// ParseHeader validates the magic and returns the element count, layout
+// byte, and the remaining stream.
+func ParseHeader(stream []byte, wantMagic uint32) (n int, layout byte, rest []byte, err error) {
+	if len(stream) < 9 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(stream) != wantMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n = int(binary.LittleEndian.Uint32(stream[4:]))
+	if n > MaxElements {
+		return 0, 0, nil, fmt.Errorf("%w: element count %d exceeds limit", ErrCorrupt, n)
+	}
+	return n, stream[8], stream[9:], nil
+}
+
+// AppendSection appends a uvarint-length-prefixed byte section.
+func AppendSection(dst, section []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(section)))
+	return append(dst, section...)
+}
+
+// ReadSection reads a section written by AppendSection starting at pos,
+// returning the section contents and the next position.
+func ReadSection(src []byte, pos int) ([]byte, int, error) {
+	if pos >= len(src) {
+		return nil, 0, ErrCorrupt
+	}
+	l, k := binary.Uvarint(src[pos:])
+	if k <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	pos += k
+	if int(l) < 0 || pos+int(l) > len(src) {
+		return nil, 0, ErrCorrupt
+	}
+	return src[pos : pos+int(l)], pos + int(l), nil
+}
+
+var zcodec = lossless.NewZstdLike()
+
+// AppendLosslessStage appends payload to out, passing it through the
+// zstd-like codec first when that wins (and unless disabled). A mode byte
+// records which representation was kept.
+func AppendLosslessStage(out, payload []byte, disable bool) []byte {
+	if !disable {
+		if z, err := zcodec.Compress(payload); err == nil && len(z) < len(payload) {
+			out = append(out, 1)
+			return append(out, z...)
+		}
+	}
+	out = append(out, 0)
+	return append(out, payload...)
+}
+
+// ReadLosslessStage reverses AppendLosslessStage.
+func ReadLosslessStage(rest []byte) ([]byte, error) {
+	if len(rest) < 1 {
+		return nil, ErrCorrupt
+	}
+	switch rest[0] {
+	case 0:
+		return rest[1:], nil
+	case 1:
+		return zcodec.Decompress(rest[1:])
+	default:
+		return nil, ErrCorrupt
+	}
+}

@@ -1,0 +1,283 @@
+// Package eblctest provides the shared conformance suite run against every
+// error-bounded lossy compressor in this module. Each EBLC package has a
+// thin test file invoking RunConformance, so all compressors are held to
+// the same contract: round-trip decodability, error-bound compliance,
+// sane ratios on weight-like data, and graceful handling of degenerate and
+// corrupt inputs.
+package eblctest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ebcl"
+)
+
+// Options tunes the suite per compressor.
+type Options struct {
+	// StrictBound asserts max error <= ebAbs. ZFP's fixed-precision mode has
+	// no formal bound (paper §V-D1), so it runs with a loose multiple.
+	StrictBound bool
+	// LooseFactor multiplies the bound for non-strict compressors.
+	LooseFactor float64
+	// MinRatioAt1e2 is the minimum acceptable compression ratio on
+	// weight-like data at a relative bound of 1e-2.
+	MinRatioAt1e2 float64
+}
+
+// WeightLike synthesizes n values shaped like flattened FL model weights:
+// a sharp near-zero mass (Laplacian-ish) plus sparse large-magnitude
+// outliers, matching the "spiky" profile of paper Figure 2(a)/3.
+func WeightLike(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		// Laplace(0, 0.03) via difference of exponentials.
+		v := 0.03 * (rng.ExpFloat64() - rng.ExpFloat64())
+		if rng.Float64() < 0.002 {
+			v += rng.NormFloat64() * 0.5 // occasional outlier
+		}
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// SmoothLike synthesizes a smooth band-limited signal, the shape EBLCs were
+// designed for (paper Figure 2(b)).
+func SmoothLike(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	phase := rng.Float64() * 2 * math.Pi
+	for i := range out {
+		x := float64(i) / float64(n)
+		out[i] = float32(math.Sin(2*math.Pi*5*x+phase) + 0.4*math.Sin(2*math.Pi*23*x) + 0.05*rng.NormFloat64())
+	}
+	return out
+}
+
+// RunConformance executes the shared suite.
+func RunConformance(t *testing.T, c ebcl.Compressor, opt Options) {
+	t.Helper()
+	if opt.LooseFactor == 0 {
+		opt.LooseFactor = 8
+	}
+
+	t.Run("EmptyInput", func(t *testing.T) {
+		stream, err := c.Compress(nil, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(stream)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+	})
+
+	t.Run("ConstantInput", func(t *testing.T) {
+		data := make([]float32, 1000)
+		for i := range data {
+			data[i] = 3.25
+		}
+		stream, err := c.Compress(data, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(stream)
+		if err != nil || len(out) != len(data) {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+		// A constant array has zero range, so any reconstruction error is a
+		// bug for every compressor, including ZFP.
+		for i, v := range out {
+			if math.Abs(float64(v)-3.25) > 1e-5 {
+				t.Fatalf("element %d: %v != 3.25", i, v)
+			}
+		}
+		if len(stream) > 64 {
+			t.Errorf("constant stream is %d bytes, want tiny", len(stream))
+		}
+	})
+
+	t.Run("SingleElement", func(t *testing.T) {
+		stream, err := c.Compress([]float32{-0.75}, ebcl.Abs(1e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(stream)
+		if err != nil || len(out) != 1 {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+		if math.Abs(float64(out[0])+0.75) > 1e-2 {
+			t.Fatalf("value %v", out[0])
+		}
+	})
+
+	t.Run("BoundCompliance", func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(42, 1))
+		for _, gen := range []struct {
+			name string
+			data []float32
+		}{
+			{"weights", WeightLike(rng, 20000)},
+			{"smooth", SmoothLike(rng, 20000)},
+		} {
+			for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+				stream, err := c.Compress(gen.data, ebcl.Rel(eb))
+				if err != nil {
+					t.Fatalf("%s eb=%g: %v", gen.name, eb, err)
+				}
+				out, err := c.Decompress(stream)
+				if err != nil {
+					t.Fatalf("%s eb=%g decompress: %v", gen.name, eb, err)
+				}
+				if len(out) != len(gen.data) {
+					t.Fatalf("%s eb=%g: length %d != %d", gen.name, eb, len(out), len(gen.data))
+				}
+				ebAbs := eb * ebcl.ValueRange(gen.data)
+				limit := ebAbs
+				if !opt.StrictBound {
+					limit = ebAbs * opt.LooseFactor
+				}
+				if got := ebcl.MaxAbsError(gen.data, out); got > limit*(1+1e-6) {
+					t.Fatalf("%s eb=%g: max error %g exceeds %g", gen.name, eb, got, limit)
+				}
+			}
+		}
+	})
+
+	t.Run("AbsoluteMode", func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(7, 7))
+		data := WeightLike(rng, 5000)
+		stream, err := c.Compress(data, ebcl.Abs(0.005))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := 0.005
+		if !opt.StrictBound {
+			limit *= opt.LooseFactor
+		}
+		if got := ebcl.MaxAbsError(data, out); got > limit*(1+1e-6) {
+			t.Fatalf("ABS mode: max error %g exceeds %g", got, limit)
+		}
+	})
+
+	t.Run("RatioOnWeights", func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(3, 9))
+		data := WeightLike(rng, 1<<17)
+		stream, err := c.Compress(data, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(4*len(data)) / float64(len(stream))
+		if ratio < opt.MinRatioAt1e2 {
+			t.Errorf("ratio %.2f at rel 1e-2, want >= %.2f", ratio, opt.MinRatioAt1e2)
+		}
+		t.Logf("%s ratio on weights @1e-2: %.2f", c.Name(), ratio)
+	})
+
+	t.Run("TighterBoundLowerRatio", func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(11, 4))
+		data := WeightLike(rng, 1<<16)
+		var prev float64 = math.Inf(1)
+		for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+			stream, err := c.Compress(data, ebcl.Rel(eb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := float64(4*len(data)) / float64(len(stream))
+			// Allow small non-monotonic wiggle (10%) but not inversions.
+			if ratio > prev*1.1 {
+				t.Errorf("ratio %.2f at eb=%g exceeds looser bound's %.2f", ratio, eb, prev)
+			}
+			prev = ratio
+		}
+	})
+
+	t.Run("InvalidParams", func(t *testing.T) {
+		data := []float32{1, 2, 3}
+		if _, err := c.Compress(data, ebcl.Rel(0)); err == nil {
+			t.Error("zero relative bound should fail")
+		}
+		if _, err := c.Compress(data, ebcl.Abs(-1)); err == nil {
+			t.Error("negative absolute bound should fail")
+		}
+	})
+
+	t.Run("CorruptStream", func(t *testing.T) {
+		for _, junk := range [][]byte{nil, {1, 2}, make([]byte, 16)} {
+			if _, err := c.Decompress(junk); err == nil {
+				t.Errorf("junk %v decoded without error", junk)
+			}
+		}
+		// A valid stream with a flipped magic must be rejected.
+		rng := rand.New(rand.NewPCG(1, 1))
+		stream, err := c.Compress(WeightLike(rng, 256), ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), stream...)
+		bad[0] ^= 0xFF
+		if _, err := c.Decompress(bad); err == nil {
+			t.Error("flipped magic decoded without error")
+		}
+	})
+
+	t.Run("QuickProperty", func(t *testing.T) {
+		// Property: for arbitrary finite float32 arrays and bounds, the
+		// round trip preserves length and (for strict compressors) the
+		// error bound.
+		f := func(seed uint64, nSel uint16, ebSel uint8) bool {
+			rng := rand.New(rand.NewPCG(seed, 0xABCD))
+			n := int(nSel%3000) + 1
+			data := make([]float32, n)
+			scale := math.Pow(10, float64(int(ebSel%9))-4) // 1e-4 .. 1e4
+			for i := range data {
+				data[i] = float32(rng.NormFloat64() * scale)
+			}
+			eb := math.Pow(10, -float64(ebSel%4)-1) // 1e-1 .. 1e-4
+			stream, err := c.Compress(data, ebcl.Rel(eb))
+			if err != nil {
+				return false
+			}
+			out, err := c.Decompress(stream)
+			if err != nil || len(out) != n {
+				return false
+			}
+			if opt.StrictBound {
+				ebAbs := eb * ebcl.ValueRange(data)
+				if ebcl.MaxAbsError(data, out) > ebAbs*(1+1e-6)+1e-12 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("OddLengths", func(t *testing.T) {
+		rng := rand.New(rand.NewPCG(2, 2))
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 127, 128, 129, 255, 256, 257, 1023} {
+			data := WeightLike(rng, n)
+			stream, err := c.Compress(data, ebcl.Rel(1e-2))
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			out, err := c.Decompress(stream)
+			if err != nil || len(out) != n {
+				t.Fatalf("n=%d: len=%d err=%v", n, len(out), err)
+			}
+		}
+	})
+}

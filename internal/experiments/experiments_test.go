@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps generator tests fast: minimal rounds and data.
+func tinyConfig() Config {
+	return Config{
+		Seed:         3,
+		ProfileScale: 0.01,
+		Rounds:       2,
+		Clients:      2,
+		TrainN:       48,
+		TestN:        24,
+		ImageSide:    10,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"eqn1",
+		"ablate-partition", "ablate-threshold", "ablate-errormode", "ablate-lossless",
+		"ablate-lr",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(ids), len(want), ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", ids, want)
+		}
+	}
+	if _, err := Get("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"A", "BB"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("hello %d", 7)
+	out := tb.Render()
+	for _, want := range []string{"demo", "A", "BB", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// runGen executes a generator under the tiny config and checks structure.
+func runGen(t *testing.T, id string) *Table {
+	t.Helper()
+	gen, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := gen(tinyConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tb.ID != id {
+		t.Fatalf("%s: table id %q", id, tb.ID)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: no rows", id)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("%s row %d: %d cells for %d columns", id, i, len(row), len(tb.Columns))
+		}
+	}
+	return tb
+}
+
+func TestTable2Structure(t *testing.T) {
+	tb := runGen(t, "table2")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 lossless codecs, got %d", len(tb.Rows))
+	}
+	// Every ratio must be >= 0.9 (codecs never catastrophically expand).
+	for _, row := range tb.Rows {
+		r, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || r < 0.9 {
+			t.Fatalf("codec %s ratio %q", row[0], row[3])
+		}
+	}
+}
+
+func TestTable3MatchesPaperOrdering(t *testing.T) {
+	tb := runGen(t, "table3")
+	if len(tb.Rows) != 3 {
+		t.Fatal("want 3 models")
+	}
+	// %LossyData ordering: mobilenet < resnet < alexnet.
+	frac := map[string]string{}
+	for _, row := range tb.Rows {
+		frac[row[0]] = row[3]
+	}
+	if !(frac["mobilenetv2"] < frac["resnet50"] && frac["resnet50"] < frac["alexnet"]) {
+		t.Fatalf("lossy-data ordering violated: %v", frac)
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	tb := runGen(t, "table4")
+	if len(tb.Rows) != 3 {
+		t.Fatal("want 3 datasets")
+	}
+}
+
+func TestTable5RatiosGrowWithBound(t *testing.T) {
+	tb := runGen(t, "table5")
+	for _, row := range tb.Rows {
+		var prev float64 = 1e18
+		for _, cell := range row[2:] {
+			r, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad ratio cell %q", cell)
+			}
+			if r > prev*1.1 {
+				t.Fatalf("row %v: ratio not declining with tighter bounds", row)
+			}
+			prev = r
+		}
+		// REL 1e-2 column should be a solid ratio.
+		r, _ := strconv.ParseFloat(row[3], 64)
+		if r < 3 {
+			t.Errorf("row %v: REL 1e-2 ratio %v < 3", row[:2], r)
+		}
+	}
+}
+
+func TestFig2WeightsSpikierThanScience(t *testing.T) {
+	tb := runGen(t, "fig2")
+	var wMin, sMax float64 = 1e18, 0
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad smoothness %q", row[2])
+		}
+		switch row[0] {
+		case "fl-weights":
+			if v < wMin {
+				wMin = v
+			}
+		case "miranda-like":
+			if v > sMax {
+				sMax = v
+			}
+		}
+	}
+	if wMin <= sMax {
+		t.Fatalf("weights (min %.4f) must be spikier than science data (max %.4f)", wMin, sMax)
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	tb := runGen(t, "fig3")
+	if len(tb.Rows) != 3 {
+		t.Fatal("want 3 models")
+	}
+}
+
+func TestFig8HasCrossover(t *testing.T) {
+	tb := runGen(t, "fig8")
+	// At 1 Mbps a compressor must win; at 10000 Mbps original must win.
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if first[len(first)-1] == "original" {
+		t.Errorf("at 1 Mbps compression should win: %v", first)
+	}
+	if last[len(last)-1] != "original" {
+		t.Errorf("at 10 Gbps original should win: %v", last)
+	}
+}
+
+func TestFig9ScalingShapes(t *testing.T) {
+	tb := runGen(t, "fig9")
+	var weak, strong [][]string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "weak":
+			weak = append(weak, row)
+		case "strong":
+			strong = append(strong, row)
+		}
+	}
+	if len(weak) != 7 || len(strong) != 7 {
+		t.Fatalf("want 7+7 scaling points, got %d+%d", len(weak), len(strong))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		if err != nil {
+			t.Fatalf("bad duration %q", s)
+		}
+		return v
+	}
+	// Weak scaling: round time grows with clients.
+	for i := 1; i < len(weak); i++ {
+		if parse(weak[i][3]) <= parse(weak[i-1][3]) {
+			t.Fatalf("weak scaling not growing: %v -> %v", weak[i-1], weak[i])
+		}
+	}
+	// Strong scaling: round time shrinks (or holds) with workers.
+	for i := 1; i < len(strong); i++ {
+		if parse(strong[i][3]) > parse(strong[i-1][3])*1.001 {
+			t.Fatalf("strong scaling regressed: %v -> %v", strong[i-1], strong[i])
+		}
+	}
+}
+
+func TestFig10LaplaceWins(t *testing.T) {
+	tb := runGen(t, "fig10")
+	wins := 0
+	for _, row := range tb.Rows {
+		if row[5] == "true" {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Fatalf("Laplace should beat Gaussian on most bounds, won %d of %d", wins, len(tb.Rows))
+	}
+}
+
+func TestEqn1DecisionShape(t *testing.T) {
+	tb := runGen(t, "eqn1")
+	// Low bandwidth: compress; the decision may flip as bandwidth grows
+	// but must never flip back.
+	flips := 0
+	prev := ""
+	for _, row := range tb.Rows {
+		if prev != "" && row[3] != prev {
+			flips++
+		}
+		prev = row[3]
+	}
+	if tb.Rows[0][3] != "true" {
+		t.Errorf("at 1 Mbps the decision must be compress: %v", tb.Rows[0])
+	}
+	if flips > 1 {
+		t.Errorf("decision flipped %d times", flips)
+	}
+}
+
+func TestAblateThresholdStructure(t *testing.T) {
+	tb := runGen(t, "ablate-threshold")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 thresholds, got %d", len(tb.Rows))
+	}
+	// Lossy tensor count must not increase with threshold.
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if n > prev {
+			t.Fatalf("lossy tensors grew with threshold: %v", tb.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestAblateErrorModeStructure(t *testing.T) {
+	tb := runGen(t, "ablate-errormode")
+	if len(tb.Rows) != 4 {
+		t.Fatal("want 4 rows")
+	}
+}
+
+func TestAblateLosslessStructure(t *testing.T) {
+	tb := runGen(t, "ablate-lossless")
+	if len(tb.Rows) != 5 {
+		t.Fatal("want 5 codecs")
+	}
+}

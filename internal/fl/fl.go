@@ -1,0 +1,268 @@
+// Package fl implements the federated-learning substrate: FedAvg clients
+// and server, round orchestration with pluggable update transports (raw or
+// FedSZ-compressed), and per-phase timing — the APPFL/MPI stack of the
+// paper replaced by goroutines.
+package fl
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Transport encodes a client's state dict for the wire and decodes it at
+// the server — the seam where FedSZ plugs in.
+type Transport interface {
+	// Name identifies the transport in experiment output.
+	Name() string
+	// Encode serializes the update; returns the payload and byte counts
+	// (raw, wire) plus the compression time spent.
+	Encode(sd *tensor.StateDict) (payload []byte, rawBytes int, err error)
+	// Decode reverses Encode.
+	Decode(payload []byte) (*tensor.StateDict, error)
+}
+
+// RawTransport transmits the uncompressed serialized state dict.
+type RawTransport struct{}
+
+// Name implements Transport.
+func (RawTransport) Name() string { return "uncompressed" }
+
+// Encode implements Transport.
+func (RawTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
+	b := sd.Marshal()
+	return b, sd.SizeBytes(), nil
+}
+
+// Decode implements Transport.
+func (RawTransport) Decode(p []byte) (*tensor.StateDict, error) {
+	return tensor.UnmarshalStateDict(p)
+}
+
+// FedSZTransport compresses updates with the FedSZ pipeline.
+type FedSZTransport struct {
+	Opts core.Options
+	// LastStats holds the most recent Encode's pipeline statistics.
+	mu        sync.Mutex
+	LastStats *core.Stats
+}
+
+// NewFedSZTransport wraps pipeline options as a transport.
+func NewFedSZTransport(opts core.Options) *FedSZTransport {
+	return &FedSZTransport{Opts: opts}
+}
+
+// Name implements Transport.
+func (t *FedSZTransport) Name() string { return "fedsz" }
+
+// Encode implements Transport.
+func (t *FedSZTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
+	payload, stats, err := core.Compress(sd, t.Opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.mu.Lock()
+	t.LastStats = stats
+	t.mu.Unlock()
+	return payload, stats.RawBytes, nil
+}
+
+// Decode implements Transport.
+func (t *FedSZTransport) Decode(p []byte) (*tensor.StateDict, error) {
+	sd, _, err := core.Decompress(p)
+	return sd, err
+}
+
+// Client is one FedAvg participant: a local model, a data shard, and an
+// SGD optimizer.
+type Client struct {
+	ID        int
+	Net       *nn.Network
+	Data      *dataset.Dataset
+	BatchSize int
+	Opt       *nn.SGD
+	rng       *rand.Rand
+}
+
+// NewClient constructs a client around an existing network.
+func NewClient(id int, net *nn.Network, data *dataset.Dataset, batchSize int, lr float64, seed uint64) *Client {
+	return &Client{
+		ID: id, Net: net, Data: data, BatchSize: batchSize,
+		Opt: nn.NewSGD(lr, 0.9, 5e-4),
+		rng: rand.New(rand.NewPCG(seed, uint64(id)+1)),
+	}
+}
+
+// TrainEpochs runs local SGD for the given epoch count and returns the
+// final mean loss.
+func (c *Client) TrainEpochs(epochs int) float64 {
+	var lastLoss float64
+	n := c.Data.Len()
+	for e := 0; e < epochs; e++ {
+		perm := c.rng.Perm(n)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo+c.BatchSize <= n; lo += c.BatchSize {
+			x, labels := batchByIndex(c.Data, perm[lo:lo+c.BatchSize])
+			c.Net.ZeroGrads()
+			logits := c.Net.Forward(x, true)
+			loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			c.Net.Backward(grad)
+			c.Opt.Step(c.Net.Params())
+			epochLoss += loss
+			batches++
+		}
+		if batches > 0 {
+			lastLoss = epochLoss / float64(batches)
+		}
+	}
+	return lastLoss
+}
+
+func batchByIndex(d *dataset.Dataset, idx []int) (*tensor.Tensor, []int) {
+	c, h, w := d.Spec.Channels, d.Spec.Height, d.Spec.Width
+	plane := c * h * w
+	x := tensor.New(len(idx), c, h, w)
+	labels := make([]int, len(idx))
+	for i, s := range idx {
+		copy(x.Data[i*plane:(i+1)*plane], d.X.Data[s*plane:(s+1)*plane])
+		labels[i] = d.Labels[s]
+	}
+	return x, labels
+}
+
+// RoundTimings breaks a communication round into the phases of paper
+// Figure 6.
+type RoundTimings struct {
+	Train      time.Duration // max over clients (they run in parallel)
+	Compress   time.Duration // sum of client Encode times
+	Decompress time.Duration // sum of server Decode times
+	Validate   time.Duration
+}
+
+// RoundResult reports one FedAvg communication round.
+type RoundResult struct {
+	Round     int
+	Loss      float64 // mean client training loss
+	Accuracy  float64 // server-side validation accuracy
+	RawBytes  int     // total uncompressed update bytes (all clients)
+	WireBytes int     // total transmitted bytes (all clients)
+	Timings   RoundTimings
+}
+
+// Federation owns a global model and a set of clients.
+type Federation struct {
+	Global    *nn.Network
+	Clients   []*Client
+	Transport Transport
+	Test      *dataset.Dataset
+	EvalBatch int
+}
+
+// NewFederation wires a federation together. All client networks must be
+// structurally identical to the global network.
+func NewFederation(global *nn.Network, clients []*Client, transport Transport, test *dataset.Dataset) *Federation {
+	return &Federation{Global: global, Clients: clients, Transport: transport, Test: test, EvalBatch: 64}
+}
+
+// RunRound executes one FedAvg round: broadcast → parallel local training →
+// transport-encoded upload → aggregation → validation.
+func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
+	res := &RoundResult{Round: round}
+	globalState := f.Global.StateDict()
+
+	type clientOut struct {
+		payload  []byte
+		raw      int
+		loss     float64
+		trainDur time.Duration
+		encDur   time.Duration
+		err      error
+	}
+	outs := make([]clientOut, len(f.Clients))
+	var wg sync.WaitGroup
+	for i, c := range f.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			if err := c.Net.LoadStateDict(globalState); err != nil {
+				outs[i].err = err
+				return
+			}
+			t0 := time.Now()
+			outs[i].loss = c.TrainEpochs(localEpochs)
+			outs[i].trainDur = time.Since(t0)
+			t0 = time.Now()
+			payload, raw, err := f.Transport.Encode(c.Net.StateDict())
+			outs[i].encDur = time.Since(t0)
+			outs[i].payload, outs[i].raw, outs[i].err = payload, raw, err
+		}(i, c)
+	}
+	wg.Wait()
+
+	// FedAvg aggregation in deterministic client order.
+	acc := globalState.Zero()
+	weight := 1 / float32(len(f.Clients))
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("fl: client %d: %w", i, o.err)
+		}
+		res.Loss += o.loss / float64(len(f.Clients))
+		res.RawBytes += o.raw
+		res.WireBytes += len(o.payload)
+		if o.trainDur > res.Timings.Train {
+			res.Timings.Train = o.trainDur
+		}
+		res.Timings.Compress += o.encDur
+		t0 := time.Now()
+		sd, err := f.Transport.Decode(o.payload)
+		res.Timings.Decompress += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode client %d: %w", i, err)
+		}
+		if err := acc.AddScaled(sd, weight); err != nil {
+			return nil, fmt.Errorf("fl: aggregate client %d: %w", i, err)
+		}
+	}
+	if err := f.Global.LoadStateDict(acc); err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	res.Accuracy = f.Evaluate()
+	res.Timings.Validate = time.Since(t0)
+	return res, nil
+}
+
+// Evaluate computes global-model top-1 accuracy on the test set.
+func (f *Federation) Evaluate() float64 {
+	n := f.Test.Len()
+	correct := 0.0
+	for lo := 0; lo < n; lo += f.EvalBatch {
+		hi := min(lo+f.EvalBatch, n)
+		x, labels := f.Test.Batch(lo, hi)
+		logits := f.Global.Forward(x, false)
+		correct += nn.Accuracy(logits, labels) * float64(hi-lo)
+	}
+	return correct / float64(n)
+}
+
+// Run executes rounds communication rounds and returns per-round results.
+func (f *Federation) Run(rounds, localEpochs int) ([]*RoundResult, error) {
+	out := make([]*RoundResult, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		res, err := f.RunRound(r, localEpochs)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

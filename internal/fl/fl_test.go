@@ -1,0 +1,209 @@
+package fl
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ebcl"
+	"repro/internal/nn/models"
+)
+
+// buildFederation assembles a 4-client federation (the paper's client
+// count) on a scaled CIFAR10-like task.
+func buildFederation(t *testing.T, transport Transport, seed uint64) *Federation {
+	t.Helper()
+	cfg, err := dataset.ScaledConfig("cifar10", 12, 192, 64, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := dataset.Generate(cfg)
+	shards := dataset.ShardIID(train, 4, seed)
+	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	rng := rand.New(rand.NewPCG(seed, 1))
+	global, err := models.BuildMini("alexnet", rng, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, 4)
+	for i := range clients {
+		crng := rand.New(rand.NewPCG(seed, uint64(i)+10))
+		net, err := models.BuildMini("alexnet", crng, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewClient(i, net, shards[i], 16, 0.02, seed)
+	}
+	return NewFederation(global, clients, transport, test)
+}
+
+func TestRawTransportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	net, _ := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+	sd := net.StateDict()
+	var tr RawTransport
+	p, raw, err := tr.Encode(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != sd.SizeBytes() {
+		t.Fatalf("raw bytes %d != %d", raw, sd.SizeBytes())
+	}
+	got, err := tr.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.MaxAbsDiff(sd)
+	if err != nil || d != 0 {
+		t.Fatalf("raw transport not exact: d=%v err=%v", d, err)
+	}
+}
+
+func TestFedAvgImprovesAccuracy(t *testing.T) {
+	fed := buildFederation(t, RawTransport{}, 42)
+	initial := fed.Evaluate()
+	results, err := fed.Run(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := results[len(results)-1].Accuracy
+	if final < initial+0.2 {
+		t.Fatalf("accuracy %f -> %f: FedAvg did not learn", initial, final)
+	}
+	// Timing and byte accounting sanity.
+	r := results[0]
+	if r.RawBytes <= 0 || r.WireBytes <= 0 {
+		t.Fatal("byte accounting missing")
+	}
+	if r.Timings.Train <= 0 || r.Timings.Validate <= 0 {
+		t.Fatal("timings missing")
+	}
+	// Raw transport: wire bytes ≈ raw bytes + small framing.
+	if r.WireBytes < r.RawBytes {
+		t.Fatal("raw transport cannot shrink data")
+	}
+}
+
+func TestFedSZTransportShrinksUpdatesAndPreservesLearning(t *testing.T) {
+	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	fed := buildFederation(t, tr, 42)
+	results, err := fed.Run(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	ratio := float64(r.RawBytes) / float64(r.WireBytes)
+	if ratio < 3 {
+		t.Errorf("wire ratio %.2f, want >= 3", ratio)
+	}
+	if r.Timings.Compress <= 0 || r.Timings.Decompress <= 0 {
+		t.Error("compression timings missing")
+	}
+	final := results[len(results)-1].Accuracy
+	if final < 0.5 {
+		t.Errorf("compressed federation accuracy %.2f, want >= 0.5", final)
+	}
+	if tr.LastStats == nil || tr.LastStats.Ratio() < 3 {
+		t.Error("transport stats not recorded")
+	}
+}
+
+func TestCompressedMatchesUncompressedWithinHalfPercentShape(t *testing.T) {
+	// The paper's headline claim at REL 1e-2: compressed accuracy within
+	// ~0.5% of uncompressed after 50 rounds. At this micro scale (12 px,
+	// 12 rounds) training noise is larger than 0.5%, so assert a loose
+	// band (10 points at convergence) — the experiments harness runs the
+	// full version.
+	fedRaw := buildFederation(t, RawTransport{}, 7)
+	rawRes, err := fedRaw.Run(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	fedSZ := buildFederation(t, tr, 7)
+	szRes, err := fedSZ.Run(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawAcc := rawRes[len(rawRes)-1].Accuracy
+	szAcc := szRes[len(szRes)-1].Accuracy
+	if rawAcc-szAcc > 0.10 {
+		t.Errorf("compression cost %.3f accuracy (raw %.3f, fedsz %.3f)", rawAcc-szAcc, rawAcc, szAcc)
+	}
+	t.Logf("raw=%.3f fedsz=%.3f", rawAcc, szAcc)
+}
+
+func TestClientTrainingReducesLoss(t *testing.T) {
+	cfg, _ := dataset.ScaledConfig("fmnist", 12, 64, 16, 5)
+	train, _ := dataset.Generate(cfg)
+	rng := rand.New(rand.NewPCG(5, 5))
+	net, _ := models.BuildMini("alexnet", rng, models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes})
+	c := NewClient(0, net, train, 16, 0.02, 5)
+	first := c.TrainEpochs(1)
+	var last float64
+	for i := 0; i < 4; i++ {
+		last = c.TrainEpochs(1)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %f -> %f", first, last)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	fed := buildFederation(t, RawTransport{}, 11)
+	a := fed.Evaluate()
+	b := fed.Evaluate()
+	if a != b {
+		t.Fatalf("evaluation not deterministic: %v != %v", a, b)
+	}
+}
+
+func TestSGDStateIsolatedBetweenClients(t *testing.T) {
+	// Two clients starting from the same broadcast and data must produce
+	// identical updates (determinism of the whole client path).
+	cfg, _ := dataset.ScaledConfig("cifar10", 12, 32, 8, 21)
+	train, _ := dataset.Generate(cfg)
+	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	mk := func() *Client {
+		rng := rand.New(rand.NewPCG(21, 3))
+		net, _ := models.BuildMini("alexnet", rng, in)
+		return NewClient(0, net, train, 8, 0.02, 99)
+	}
+	c1, c2 := mk(), mk()
+	c1.TrainEpochs(1)
+	c2.TrainEpochs(1)
+	d, err := c1.Net.StateDict().MaxAbsDiff(c2.Net.StateDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("identical clients diverged by %g", d)
+	}
+}
+
+var benchSink float64
+
+func BenchmarkFederatedRound(b *testing.B) {
+	cfg, _ := dataset.ScaledConfig("cifar10", 12, 64, 32, 1)
+	train, test := dataset.Generate(cfg)
+	shards := dataset.ShardIID(train, 2, 1)
+	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	rng := rand.New(rand.NewPCG(1, 1))
+	global, _ := models.BuildMini("alexnet", rng, in)
+	clients := make([]*Client, 2)
+	for i := range clients {
+		crng := rand.New(rand.NewPCG(1, uint64(i)+10))
+		net, _ := models.BuildMini("alexnet", crng, in)
+		clients[i] = NewClient(i, net, shards[i], 16, 0.02, 1)
+	}
+	fed := NewFederation(global, clients, NewFedSZTransport(core.Options{}), test)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fed.RunRound(i, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res.Accuracy
+	}
+}

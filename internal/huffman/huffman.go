@@ -1,0 +1,379 @@
+// Package huffman implements a canonical, length-limited Huffman codec over
+// integer alphabets. It is the entropy stage shared by the SZ2 and SZ3 lossy
+// compressors (quantization codes) and the zstd-like / xz-like lossless
+// codecs (literal and match-length alphabets).
+//
+// Code tables are serialized as the list of per-symbol code lengths, so the
+// decoder can rebuild the exact canonical code without transmitting the
+// codes themselves.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// MaxCodeLen is the maximum code length produced by NewCodec. Length
+// limiting keeps the decoder tables small and bounds worst-case expansion.
+const MaxCodeLen = 24
+
+var (
+	// ErrCorrupt is returned when a bitstream does not decode to a valid
+	// symbol sequence under the codec's tables.
+	ErrCorrupt = errors.New("huffman: corrupt bitstream")
+	// ErrBadLengths is returned when a serialized length table does not
+	// describe a valid (complete or empty) canonical code.
+	ErrBadLengths = errors.New("huffman: invalid code length table")
+)
+
+// Codec holds the canonical code for one alphabet. A Codec is immutable and
+// safe for concurrent use after construction.
+type Codec struct {
+	numSymbols int
+	lengths    []uint8  // per-symbol code length, 0 = unused symbol
+	codes      []uint32 // per-symbol canonical code (MSB-first)
+
+	// Decoding acceleration: firstCode[l] is the canonical code value of the
+	// first code of length l; index[l] is the offset into sorted where codes
+	// of length l begin; sorted lists symbols ordered by (length, symbol).
+	firstCode [MaxCodeLen + 2]uint32
+	index     [MaxCodeLen + 2]int32
+	sorted    []int32
+	maxLen    uint8
+}
+
+type hNode struct {
+	weight      uint64
+	symbol      int32 // -1 for internal
+	left, right *hNode
+	depth       int
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	// Tie-break on depth for more balanced trees (shorter max length).
+	return h[i].depth < h[j].depth
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewCodec builds a canonical Huffman code for an alphabet of
+// len(frequencies) symbols with the given occurrence counts. Symbols with
+// zero frequency get no code. Codes longer than MaxCodeLen are flattened by
+// iteratively halving large frequencies (the standard length-limiting
+// heuristic), which preserves decodability at a tiny ratio cost.
+func NewCodec(frequencies []uint64) (*Codec, error) {
+	if len(frequencies) == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	freqs := make([]uint64, len(frequencies))
+	copy(freqs, frequencies)
+
+	for attempt := 0; ; attempt++ {
+		lengths, err := buildLengths(freqs)
+		if err != nil {
+			return nil, err
+		}
+		maxLen := uint8(0)
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= MaxCodeLen {
+			return newCodecFromLengths(lengths)
+		}
+		if attempt > 64 {
+			return nil, errors.New("huffman: failed to limit code lengths")
+		}
+		// Flatten the distribution and retry.
+		for i, f := range freqs {
+			if f > 0 {
+				freqs[i] = f/2 + 1
+			}
+		}
+	}
+}
+
+// buildLengths runs the classic two-queue Huffman construction and returns
+// per-symbol code lengths.
+func buildLengths(freqs []uint64) ([]uint8, error) {
+	lengths := make([]uint8, len(freqs))
+	h := make(hHeap, 0, len(freqs))
+	for i, f := range freqs {
+		if f > 0 {
+			h = append(h, &hNode{weight: f, symbol: int32(i)})
+		}
+	}
+	switch len(h) {
+	case 0:
+		return lengths, nil // empty code: encoder never emits symbols
+	case 1:
+		lengths[h[0].symbol] = 1 // single symbol still needs one bit
+		return lengths, nil
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		d := a.depth
+		if b.depth > d {
+			d = b.depth
+		}
+		heap.Push(&h, &hNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, depth: d + 1})
+	}
+	root := h[0]
+	var walk func(n *hNode, depth uint8)
+	walk = func(n *hNode, depth uint8) {
+		if n.symbol >= 0 {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths, nil
+}
+
+// NewCodecFromLengths rebuilds a codec from a serialized length table (the
+// decoder-side constructor).
+func NewCodecFromLengths(lengths []uint8) (*Codec, error) {
+	return newCodecFromLengths(append([]uint8(nil), lengths...))
+}
+
+func newCodecFromLengths(lengths []uint8) (*Codec, error) {
+	c := &Codec{numSymbols: len(lengths), lengths: lengths}
+	// Count codes per length; validate Kraft sum.
+	var counts [MaxCodeLen + 2]uint32
+	used := 0
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			return nil, ErrBadLengths
+		}
+		if l > 0 {
+			counts[l]++
+			used++
+			if l > c.maxLen {
+				c.maxLen = l
+			}
+		}
+	}
+	if used == 0 {
+		return c, nil
+	}
+	var kraft uint64
+	for l := uint8(1); l <= c.maxLen; l++ {
+		kraft += uint64(counts[l]) << (uint(c.maxLen) - uint(l))
+	}
+	if used > 1 && kraft != 1<<uint(c.maxLen) {
+		return nil, ErrBadLengths
+	}
+	// Canonical first codes per length.
+	code := uint32(0)
+	var next [MaxCodeLen + 2]uint32
+	var offset int32
+	for l := uint8(1); l <= c.maxLen; l++ {
+		code <<= 1
+		c.firstCode[l] = code
+		next[l] = code
+		c.index[l] = offset
+		offset += int32(counts[l])
+		code += counts[l]
+	}
+	// Assign codes symbol-ascending within each length (canonical order).
+	c.codes = make([]uint32, len(lengths))
+	c.sorted = make([]int32, used)
+	type sl struct {
+		sym int32
+		l   uint8
+	}
+	order := make([]sl, 0, used)
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, sl{int32(s), l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	pos := make([]int32, MaxCodeLen+2)
+	copy(pos, c.index[:])
+	for _, e := range order {
+		c.codes[e.sym] = next[e.l]
+		next[e.l]++
+		c.sorted[pos[e.l]] = e.sym
+		pos[e.l]++
+	}
+	return c, nil
+}
+
+// Lengths returns the per-symbol code length table for serialization. The
+// returned slice must not be modified.
+func (c *Codec) Lengths() []uint8 { return c.lengths }
+
+// NumSymbols returns the alphabet size the codec was built for.
+func (c *Codec) NumSymbols() int { return c.numSymbols }
+
+// CodeLen returns the code length of symbol s (0 if s has no code).
+func (c *Codec) CodeLen(s int) uint8 { return c.lengths[s] }
+
+// Encode appends the code for symbol s to w. Encoding a symbol with no code
+// panics: it indicates the frequency table the codec was built from did not
+// cover the data.
+func (c *Codec) Encode(w *bitio.Writer, s int) {
+	l := c.lengths[s]
+	if l == 0 {
+		panic(fmt.Sprintf("huffman: symbol %d has no code", s))
+	}
+	w.WriteBits(uint64(c.codes[s]), uint(l))
+}
+
+// Decode reads one symbol from r.
+func (c *Codec) Decode(r *bitio.Reader) (int, error) {
+	var code uint32
+	for l := uint8(1); l <= c.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(bit)
+		// Codes of length l occupy [firstCode[l], firstCode[l]+count).
+		first := c.firstCode[l]
+		idx := c.index[l]
+		var count uint32
+		if l < c.maxLen {
+			count = (c.firstCode[l+1] >> 1) - first
+		} else {
+			count = uint32(len(c.sorted)) - uint32(idx)
+		}
+		if code >= first && code-first < count {
+			return int(c.sorted[idx+int32(code-first)]), nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// EncodeAll encodes a full symbol sequence and returns header+payload bytes:
+// the length table (varint count + raw lengths) followed by the bit-packed
+// codes. Use DecodeAll to reverse.
+func EncodeAll(symbols []int, alphabet int) ([]byte, error) {
+	freqs := make([]uint64, alphabet)
+	for _, s := range symbols {
+		if s < 0 || s >= alphabet {
+			return nil, fmt.Errorf("huffman: symbol %d out of alphabet [0,%d)", s, alphabet)
+		}
+		freqs[s]++
+	}
+	c, err := NewCodec(freqs)
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(len(symbols)/2 + 64)
+	writeLengthTable(w, c.Lengths())
+	w.WriteBits(uint64(len(symbols)), 32)
+	for _, s := range symbols {
+		c.Encode(w, s)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeAll reverses EncodeAll.
+func DecodeAll(data []byte, alphabet int) ([]int, error) {
+	r := bitio.NewReader(data)
+	lengths, err := readLengthTable(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCodecFromLengths(lengths)
+	if err != nil {
+		return nil, err
+	}
+	n64, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	// Every symbol costs at least one bit, so a count exceeding the
+	// remaining stream is corruption — reject before allocating.
+	if n > r.BitsRemaining() {
+		return nil, ErrCorrupt
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		s, err := c.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// writeLengthTable emits the code-length table using a simple run-length
+// scheme: (length:5, runLen:12) pairs, which is compact because quantization
+// code tables are dominated by long zero runs.
+func writeLengthTable(w *bitio.Writer, lengths []uint8) {
+	w.WriteBits(uint64(len(lengths)), 24)
+	i := 0
+	for i < len(lengths) {
+		l := lengths[i]
+		j := i + 1
+		for j < len(lengths) && lengths[j] == l && j-i < 1<<12-1 {
+			j++
+		}
+		w.WriteBits(uint64(l), 5)
+		w.WriteBits(uint64(j-i), 12)
+		i = j
+	}
+}
+
+func readLengthTable(r *bitio.Reader, maxAlphabet int) ([]uint8, error) {
+	n64, err := r.ReadBits(24)
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n == 0 || n > maxAlphabet {
+		return nil, ErrBadLengths
+	}
+	lengths := make([]uint8, n)
+	i := 0
+	for i < n {
+		l, err := r.ReadBits(5)
+		if err != nil {
+			return nil, err
+		}
+		run, err := r.ReadBits(12)
+		if err != nil {
+			return nil, err
+		}
+		if run == 0 || i+int(run) > n {
+			return nil, ErrBadLengths
+		}
+		for k := 0; k < int(run); k++ {
+			lengths[i+k] = uint8(l)
+		}
+		i += int(run)
+	}
+	return lengths, nil
+}

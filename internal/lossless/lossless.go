@@ -1,0 +1,73 @@
+// Package lossless implements the lossless codecs FedSZ evaluates for the
+// metadata / non-weight partition of a model update (paper Table II):
+//
+//   - blosclz  — byte-shuffle filter + speed-tuned LZ77 (stand-in for the C
+//     blosc-lz library): fastest, good ratio on shuffled float data.
+//   - zstdlike — LZ77 with deeper matching + Huffman-coded literals
+//     (stand-in for Zstandard): mid speed, mid ratio.
+//   - xzlike   — lazy-match LZ77 with exhaustive chains + Huffman-coded
+//     literal and control streams (stand-in for XZ/LZMA): slowest, best
+//     ratio.
+//   - gzip, zlib — thin wrappers over the Go standard library DEFLATE
+//     implementations, matching the Python libraries the paper used.
+//
+// All codecs implement the Codec interface and are self-framing: Decompress
+// needs only the bytes Compress produced.
+package lossless
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCorrupt is returned when a compressed buffer fails integrity checks.
+var ErrCorrupt = errors.New("lossless: corrupt compressed data")
+
+// Codec is a self-framing lossless byte compressor.
+type Codec interface {
+	// Name returns the registry name of the codec (e.g. "blosclz").
+	Name() string
+	// Compress returns a self-describing compressed representation of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress reverses Compress bit-exactly.
+	Decompress(src []byte) ([]byte, error)
+}
+
+var registry = map[string]Codec{}
+
+// Register adds a codec to the global registry; it panics on duplicates and
+// is intended to be called from package init functions.
+func Register(c Codec) {
+	if _, dup := registry[c.Name()]; dup {
+		panic(fmt.Sprintf("lossless: duplicate codec %q", c.Name()))
+	}
+	registry[c.Name()] = c
+}
+
+// Get returns the codec registered under name.
+func Get(name string) (Codec, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("lossless: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the sorted list of registered codec names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(NewBloscLZ())
+	Register(NewZstdLike())
+	Register(NewXZLike())
+	Register(NewGzip())
+	Register(NewZlib())
+}

@@ -1,0 +1,250 @@
+package lossless
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// corpora produces the payload shapes the FedSZ pipeline actually feeds the
+// lossless stage: float32 metadata arrays, repetitive buffers, random noise.
+func corpora() map[string][]byte {
+	rng := rand.New(rand.NewPCG(10, 20))
+
+	// Small float32 running stats (near-constant values).
+	stats := make([]byte, 0, 4*512)
+	for i := 0; i < 512; i++ {
+		v := float32(1.0 + 0.001*rng.NormFloat64())
+		bits := math.Float32bits(v)
+		stats = append(stats, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	}
+
+	// Repetitive text-like data.
+	rep := bytes.Repeat([]byte("federated learning model update metadata "), 200)
+
+	// Incompressible noise.
+	noise := make([]byte, 8192)
+	for i := range noise {
+		noise[i] = byte(rng.Uint32())
+	}
+
+	// Tiny and empty buffers.
+	return map[string][]byte{
+		"float_stats": stats,
+		"repetitive":  rep,
+		"noise":       noise,
+		"tiny":        {1, 2, 3},
+		"empty":       {},
+		"single":      {42},
+	}
+}
+
+func TestAllCodecsRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cname, data := range corpora() {
+			enc, err := c.Compress(data)
+			if err != nil {
+				t.Fatalf("%s/%s compress: %v", name, cname, err)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s/%s decompress: %v", name, cname, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("%s/%s: round trip not bit-exact (%d vs %d bytes)", name, cname, len(dec), len(data))
+			}
+		}
+	}
+}
+
+func TestRepetitiveDataCompresses(t *testing.T) {
+	data := corpora()["repetitive"]
+	for _, name := range Names() {
+		c, _ := Get(name)
+		enc, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(data)) / float64(len(enc))
+		if ratio < 3 {
+			t.Errorf("%s: ratio %.2f on repetitive data, want >= 3", name, ratio)
+		}
+	}
+}
+
+func TestXZBeatsBloscOnEntropyRichData(t *testing.T) {
+	// The paper's Table II ordering: xz's ratio >= blosclz's on metadata.
+	data := corpora()["float_stats"]
+	bl, _ := Get("blosclz")
+	xz, _ := Get("xzlike")
+	eb, _ := bl.Compress(data)
+	ex, _ := xz.Compress(data)
+	if len(ex) > len(eb)+len(data)/20 {
+		t.Errorf("xzlike (%d) should not be much worse than blosclz (%d)", len(ex), len(eb))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"blosclz", "gzip", "xzlike", "zlib", "zstdlike"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", names, want)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("want error for unknown codec")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(NewBloscLZ())
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	junk := [][]byte{nil, {1}, {1, 2, 3, 4}, bytes.Repeat([]byte{0xFF}, 64)}
+	for _, name := range []string{"blosclz", "zstdlike", "xzlike"} {
+		c, _ := Get(name)
+		for i, j := range junk {
+			if _, err := c.Decompress(j); err == nil {
+				// A nil/short buffer decoding successfully to empty output is
+				// acceptable only if it declares rawLen 0 — all our junk
+				// buffers with >= 5 bytes declare nonzero lengths.
+				if i >= 2 {
+					t.Errorf("%s: junk case %d decoded without error", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	data := corpora()["repetitive"]
+	for _, name := range []string{"blosclz", "zstdlike", "xzlike"} {
+		c, _ := Get(name)
+		enc, _ := c.Compress(data)
+		if _, err := c.Decompress(enc[:len(enc)/2]); err == nil {
+			t.Errorf("%s: truncated stream decoded without error", name)
+		}
+	}
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000, 1001, 1002, 1003} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		for _, es := range []int{1, 2, 4, 8} {
+			sh := shuffleBytes(data, es)
+			un := unshuffleBytes(sh, es)
+			if !bytes.Equal(un, data) {
+				t.Fatalf("shuffle(%d) round trip failed for n=%d", es, n)
+			}
+		}
+	}
+}
+
+func TestShuffleGroupsBytes(t *testing.T) {
+	// elements 0x04030201 repeated: after shuffle all 0x01s come first.
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 8)
+	sh := shuffleBytes(data, 4)
+	for i := 0; i < 8; i++ {
+		if sh[i] != 1 || sh[8+i] != 2 || sh[16+i] != 3 || sh[24+i] != 4 {
+			t.Fatalf("shuffle layout wrong: % x", sh)
+		}
+	}
+}
+
+func TestLZParseReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	cfgs := []matcherConfig{
+		{maxChain: 4, skipStep: true},
+		{maxChain: 32},
+		{maxChain: 512, lazy: true},
+	}
+	inputs := [][]byte{
+		[]byte("abcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0}, 1000),
+		make([]byte, 4096),
+	}
+	for i := range inputs[2] {
+		inputs[2][i] = byte(rng.IntN(4)) // low-entropy random
+	}
+	for _, cfg := range cfgs {
+		for i, in := range inputs {
+			seqs, lits := lzParse(in, cfg)
+			out, err := lzReconstruct(seqs, lits, len(in))
+			if err != nil {
+				t.Fatalf("cfg %+v input %d: %v", cfg, i, err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatalf("cfg %+v input %d: reconstruction mismatch", cfg, i)
+			}
+		}
+	}
+}
+
+// Property: every codec round-trips arbitrary byte strings.
+func TestQuickRoundTripAllCodecs(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := Get(name)
+		f := func(data []byte) bool {
+			enc, err := c.Compress(data)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decompress(enc)
+			return err == nil && bytes.Equal(dec, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func benchCodec(b *testing.B, name string, compress bool) {
+	c, err := Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := corpora()["float_stats"]
+	data = bytes.Repeat(data, 32) // ~64 KB
+	enc, _ := c.Compress(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if compress {
+			if _, err := c.Compress(data); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := c.Decompress(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCompressBloscLZ(b *testing.B)   { benchCodec(b, "blosclz", true) }
+func BenchmarkCompressZstdLike(b *testing.B)  { benchCodec(b, "zstdlike", true) }
+func BenchmarkCompressXZLike(b *testing.B)    { benchCodec(b, "xzlike", true) }
+func BenchmarkCompressGzip(b *testing.B)      { benchCodec(b, "gzip", true) }
+func BenchmarkDecompressBloscLZ(b *testing.B) { benchCodec(b, "blosclz", false) }
+func BenchmarkDecompressXZLike(b *testing.B)  { benchCodec(b, "xzlike", false) }

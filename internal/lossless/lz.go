@@ -1,0 +1,206 @@
+package lossless
+
+import (
+	"encoding/binary"
+)
+
+// Shared LZ77 machinery: a hash-chain matcher producing (literal run, match)
+// sequences, plus the interleaved byte serialization used by the blosclz
+// codec. The zstd-like and xz-like codecs reuse the parse but entropy-code
+// the streams.
+
+const (
+	lzMinMatch  = 4
+	lzMaxOffset = 1 << 16 // 2-byte offsets
+	lzHashBits  = 15
+)
+
+// sequence describes one LZ77 step: emit litLen literal bytes, then copy
+// matchLen bytes from offset bytes back. matchLen == 0 marks the final
+// literal-only tail.
+type sequence struct {
+	litLen   int
+	matchLen int
+	offset   int
+}
+
+// matcherConfig tunes the speed/ratio trade-off of the parse.
+type matcherConfig struct {
+	maxChain int  // how many chain links to follow per position
+	lazy     bool // evaluate position+1 before committing to a match
+	skipStep bool // accelerate through incompressible regions (speed tuning)
+}
+
+func lzHash(v uint32) uint32 {
+	// Fibonacci hashing of the 4-byte window.
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzParse greedily (or lazily) factors src into sequences. literals holds
+// the concatenated literal bytes referenced by the sequences, in order.
+func lzParse(src []byte, cfg matcherConfig) (seqs []sequence, literals []byte) {
+	n := len(src)
+	if n < lzMinMatch {
+		if n > 0 {
+			seqs = append(seqs, sequence{litLen: n})
+			literals = append(literals, src...)
+		}
+		return seqs, literals
+	}
+	head := make([]int32, 1<<lzHashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	chain := make([]int32, n)
+
+	insert := func(i int) {
+		if i+lzMinMatch > n {
+			return
+		}
+		h := lzHash(binary.LittleEndian.Uint32(src[i:]))
+		chain[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	findMatch := func(i int) (bestLen, bestOff int) {
+		if i+lzMinMatch > n {
+			return 0, 0
+		}
+		h := lzHash(binary.LittleEndian.Uint32(src[i:]))
+		cand := head[h]
+		limit := n - i
+		for steps := 0; cand >= 0 && steps < cfg.maxChain; steps++ {
+			j := int(cand)
+			if i-j >= lzMaxOffset {
+				break
+			}
+			if src[j] == src[i] && (bestLen == 0 || (i+bestLen < n && src[j+bestLen] == src[i+bestLen])) {
+				l := 0
+				for l < limit && src[j+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestOff = l, i-j
+				}
+			}
+			cand = chain[j]
+		}
+		if bestLen < lzMinMatch {
+			return 0, 0
+		}
+		return bestLen, bestOff
+	}
+
+	litStart := 0
+	i := 0
+	misses := 0
+	for i < n {
+		mLen, mOff := findMatch(i)
+		if cfg.lazy && mLen >= lzMinMatch && i+1 < n {
+			// Peek one position ahead; a longer match there beats taking
+			// this one now.
+			insert(i)
+			nLen, nOff := findMatch(i + 1)
+			if nLen > mLen+1 {
+				i++
+				mLen, mOff = nLen, nOff
+			} else {
+				// Undo the speculative insert bookkeeping cost is zero; the
+				// entry is still valid for future searches.
+			}
+		}
+		if mLen == 0 {
+			if cfg.lazy {
+				// Entry may already be inserted by the lazy peek; harmless
+				// to insert again (most recent wins).
+				insert(i)
+			} else {
+				insert(i)
+			}
+			misses++
+			step := 1
+			if cfg.skipStep && misses > 64 {
+				// blosc-style acceleration: skip faster through
+				// incompressible data at a small ratio cost.
+				step = 1 + (misses-64)>>5
+			}
+			i += step
+			continue
+		}
+		misses = 0
+		seqs = append(seqs, sequence{litLen: i - litStart, matchLen: mLen, offset: mOff})
+		literals = append(literals, src[litStart:i]...)
+		// Index the interior of the match sparsely (speed).
+		end := i + mLen
+		stride := 1
+		if mLen > 64 {
+			stride = 4
+		}
+		for j := i; j < end && j < n; j += stride {
+			insert(j)
+		}
+		i = end
+		litStart = i
+	}
+	if litStart < n {
+		seqs = append(seqs, sequence{litLen: n - litStart})
+		literals = append(literals, src[litStart:]...)
+	}
+	return seqs, literals
+}
+
+// initialCap bounds the first output allocation of a decoder: a hostile
+// header can declare a multi-gigabyte rawLen, so start from a multiple of
+// the compressed size and let append grow if the data is really there.
+func initialCap(rawLen, srcLen int) int {
+	c := srcLen * 8
+	if c > rawLen {
+		c = rawLen
+	}
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// lzReconstruct rebuilds the original bytes from sequences and literals.
+// rawLen is the expected output size (for allocation and validation).
+func lzReconstruct(seqs []sequence, literals []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, initialCap(rawLen, len(literals)+len(seqs)))
+	lit := 0
+	for _, s := range seqs {
+		if s.litLen < 0 || lit+s.litLen > len(literals) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, literals[lit:lit+s.litLen]...)
+		lit += s.litLen
+		if s.matchLen > 0 {
+			if s.offset <= 0 || s.offset > len(out) {
+				return nil, ErrCorrupt
+			}
+			// Overlapping copies must proceed byte-by-byte.
+			start := len(out) - s.offset
+			for k := 0; k < s.matchLen; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+	if len(out) != rawLen {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// appendUvarint / readUvarint are thin wrappers so all codecs share one
+// varint convention.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func readUvarint(src []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(src[pos:])
+	if n <= 0 {
+		return 0, 0, ErrCorrupt
+	}
+	return v, pos + n, nil
+}

@@ -1,0 +1,41 @@
+package lossless
+
+// Byte-shuffle filter (the heart of blosc): rearrange an array of fixed-size
+// elements so that byte 0 of every element comes first, then byte 1, etc.
+// For float32 data this groups the (highly similar) sign/exponent bytes,
+// turning low-entropy structure into long runs the LZ stage can exploit.
+
+// shuffleBytes returns src rearranged with the given element size. Bytes
+// beyond the last full element (the remainder) are appended unshuffled.
+func shuffleBytes(src []byte, elemSize int) []byte {
+	if elemSize <= 1 || len(src) < 2*elemSize {
+		return append([]byte(nil), src...)
+	}
+	n := len(src) / elemSize
+	out := make([]byte, len(src))
+	for b := 0; b < elemSize; b++ {
+		base := b * n
+		for i := 0; i < n; i++ {
+			out[base+i] = src[i*elemSize+b]
+		}
+	}
+	copy(out[n*elemSize:], src[n*elemSize:])
+	return out
+}
+
+// unshuffleBytes reverses shuffleBytes.
+func unshuffleBytes(src []byte, elemSize int) []byte {
+	if elemSize <= 1 || len(src) < 2*elemSize {
+		return append([]byte(nil), src...)
+	}
+	n := len(src) / elemSize
+	out := make([]byte, len(src))
+	for b := 0; b < elemSize; b++ {
+		base := b * n
+		for i := 0; i < n; i++ {
+			out[i*elemSize+b] = src[base+i]
+		}
+	}
+	copy(out[n*elemSize:], src[n*elemSize:])
+	return out
+}

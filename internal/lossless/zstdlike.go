@@ -1,0 +1,144 @@
+package lossless
+
+import (
+	"encoding/binary"
+
+	"repro/internal/huffman"
+)
+
+// ZstdLike is a Zstandard-inspired codec: the same LZ77 factorization with a
+// deeper match search than blosclz, plus Huffman entropy coding of the
+// literal stream. Control data (sequence counts, lengths, offsets) is
+// varint-packed. Slower than blosclz, better ratio on entropy-rich data.
+type ZstdLike struct {
+	cfg matcherConfig
+}
+
+// NewZstdLike returns the codec with mid-effort matching.
+func NewZstdLike() *ZstdLike {
+	return &ZstdLike{cfg: matcherConfig{maxChain: 32, lazy: false}}
+}
+
+// Name implements Codec.
+func (c *ZstdLike) Name() string { return "zstdlike" }
+
+// Frame layout:
+//
+//	u32 rawLen | u8 litMode | uvarint litBlobLen | litBlob |
+//	uvarint nSeqs | per-seq: uvarint litLen, uvarint matchCode, u16 offset-1
+//
+// litMode 0 = raw literals, 1 = Huffman (chosen by whichever is smaller).
+
+// Compress implements Codec.
+func (c *ZstdLike) Compress(src []byte) ([]byte, error) {
+	seqs, lits := lzParse(src, c.cfg)
+	litBlob, litMode, err := encodeLiterals(lits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(litBlob)+len(seqs)*4+16)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+	out = append(out, litMode)
+	out = appendUvarint(out, uint64(len(litBlob)))
+	out = append(out, litBlob...)
+	out = appendUvarint(out, uint64(len(seqs)))
+	for _, s := range seqs {
+		out = appendUvarint(out, uint64(s.litLen))
+		if s.matchLen == 0 {
+			out = appendUvarint(out, 0)
+			continue
+		}
+		out = appendUvarint(out, uint64(s.matchLen-lzMinMatch+1))
+		out = binary.LittleEndian.AppendUint16(out, uint16(s.offset-1))
+	}
+	return out, nil
+}
+
+// Decompress implements Codec.
+func (c *ZstdLike) Decompress(src []byte) ([]byte, error) {
+	if len(src) < 5 {
+		return nil, ErrCorrupt
+	}
+	rawLen := int(binary.LittleEndian.Uint32(src))
+	litMode := src[4]
+	pos := 5
+	blobLen64, pos, err := readUvarint(src, pos)
+	if err != nil {
+		return nil, err
+	}
+	blobLen := int(blobLen64)
+	if pos+blobLen > len(src) {
+		return nil, ErrCorrupt
+	}
+	lits, err := decodeLiterals(src[pos:pos+blobLen], litMode)
+	if err != nil {
+		return nil, err
+	}
+	pos += blobLen
+	nSeqs64, pos, err := readUvarint(src, pos)
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]sequence, 0, nSeqs64)
+	for i := uint64(0); i < nSeqs64; i++ {
+		var s sequence
+		var v uint64
+		v, pos, err = readUvarint(src, pos)
+		if err != nil {
+			return nil, err
+		}
+		s.litLen = int(v)
+		v, pos, err = readUvarint(src, pos)
+		if err != nil {
+			return nil, err
+		}
+		if v > 0 {
+			s.matchLen = int(v) + lzMinMatch - 1
+			if pos+2 > len(src) {
+				return nil, ErrCorrupt
+			}
+			s.offset = int(binary.LittleEndian.Uint16(src[pos:])) + 1
+			pos += 2
+		}
+		seqs = append(seqs, s)
+	}
+	return lzReconstruct(seqs, lits, rawLen)
+}
+
+// encodeLiterals Huffman-codes lits when that wins; otherwise stores raw.
+func encodeLiterals(lits []byte) (blob []byte, mode byte, err error) {
+	if len(lits) < 64 {
+		return append([]byte(nil), lits...), 0, nil
+	}
+	syms := make([]int, len(lits))
+	for i, b := range lits {
+		syms[i] = int(b)
+	}
+	enc, err := huffman.EncodeAll(syms, 256)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(enc) < len(lits) {
+		return enc, 1, nil
+	}
+	return append([]byte(nil), lits...), 0, nil
+}
+
+func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
+	switch mode {
+	case 0:
+		return blob, nil
+	case 1:
+		syms, err := huffman.DecodeAll(blob, 256)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(syms))
+		for i, s := range syms {
+			out[i] = byte(s)
+		}
+		return out, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}

@@ -1,0 +1,117 @@
+// Package netsim models the constrained networks of the FedSZ evaluation.
+// The paper emulates low bandwidth by sleeping inside MPI sends (§VI-C);
+// this package instead computes transmission times analytically on a
+// virtual clock from real measured payload sizes, which makes hour-long
+// "transfers" cost nothing and keeps the scaling experiments deterministic.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link models a client↔server path.
+type Link struct {
+	// BandwidthMbps is the usable throughput in megabits per second.
+	BandwidthMbps float64
+	// LatencyMs is the one-way propagation latency added per transfer.
+	LatencyMs float64
+}
+
+// Common paper settings.
+var (
+	// EdgeLink is the 10 Mbps wide-area edge network of Figures 7 and 9.
+	EdgeLink = Link{BandwidthMbps: 10}
+	// DataCenterLink approximates the 10 Gbps cluster fabric.
+	DataCenterLink = Link{BandwidthMbps: 10_000}
+)
+
+// TransmitTime returns the virtual wall-clock time to move `bytes` across
+// the link.
+func (l Link) TransmitTime(bytes int) time.Duration {
+	if l.BandwidthMbps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive bandwidth %g", l.BandwidthMbps))
+	}
+	seconds := float64(bytes*8)/(l.BandwidthMbps*1e6) + l.LatencyMs/1e3
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Decision is the outcome of the Eqn-1 test.
+type Decision struct {
+	Compress         bool
+	CompressedTime   time.Duration // tC + tD + S'/B
+	UncompressedTime time.Duration // S/B
+}
+
+// Speedup returns uncompressed/compressed total time.
+func (d Decision) Speedup() float64 {
+	if d.CompressedTime == 0 {
+		return 0
+	}
+	return float64(d.UncompressedTime) / float64(d.CompressedTime)
+}
+
+// ShouldCompress evaluates the paper's Equation 1: compression pays off when
+// tC + tD + S'/B < S/B.
+func ShouldCompress(tC, tD time.Duration, rawBytes, compressedBytes int, link Link) Decision {
+	comp := tC + tD + link.TransmitTime(compressedBytes)
+	raw := link.TransmitTime(rawBytes)
+	return Decision{Compress: comp < raw, CompressedTime: comp, UncompressedTime: raw}
+}
+
+// ClientProfile describes one client's per-round costs for the scaling
+// simulator: real compute durations plus the bytes it uploads.
+type ClientProfile struct {
+	ComputeTime  time.Duration // local training (+ validation share)
+	CompressTime time.Duration // zero for uncompressed transports
+	UploadBytes  int
+}
+
+// ScalingPoint is one measurement of Figure 9.
+type ScalingPoint struct {
+	Workers   int
+	Clients   int
+	RoundTime time.Duration // virtual wall clock for one communication round
+}
+
+// SimulateRound computes the virtual round time for `clients` identical
+// clients scheduled over `workers` parallel slots, all uploading through
+// one shared server link (the serialized ingest is what makes communication
+// dominate at scale, as in the paper's 10 Mbps runs).
+func SimulateRound(profile ClientProfile, clients, workers int, link Link) ScalingPoint {
+	if workers < 1 || clients < 1 {
+		panic("netsim: need at least one worker and client")
+	}
+	waves := (clients + workers - 1) / workers
+	compute := time.Duration(waves) * (profile.ComputeTime + profile.CompressTime)
+	// The server drains uploads serially over the shared link.
+	comm := time.Duration(clients) * link.TransmitTime(profile.UploadBytes)
+	return ScalingPoint{Workers: workers, Clients: clients, RoundTime: compute + comm}
+}
+
+// WeakScaling runs the paper's weak-scaling sweep: one client per worker,
+// worker counts as given (Fig. 9a reports per-client epoch time).
+func WeakScaling(profile ClientProfile, workerCounts []int, link Link) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		out = append(out, SimulateRound(profile, w, w, link))
+	}
+	return out
+}
+
+// StrongScaling runs the fixed-client sweep (127 clients in the paper).
+func StrongScaling(profile ClientProfile, clients int, workerCounts []int, link Link) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		out = append(out, SimulateRound(profile, clients, w, link))
+	}
+	return out
+}
+
+// Speedup returns base.RoundTime / p.RoundTime — the strong-scaling metric.
+func Speedup(base, p ScalingPoint) float64 {
+	if p.RoundTime == 0 {
+		return 0
+	}
+	return float64(base.RoundTime) / float64(p.RoundTime)
+}

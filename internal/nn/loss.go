@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits [N, Classes] and integer labels, plus the gradient w.r.t. logits —
+// the softmax/CE fusion keeps the backward numerically clean.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	grad = tensor.New(n, c)
+	invN := 1 / float64(n)
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		label := labels[s]
+		loss += -(float64(row[label]-maxv) - logSum) * invN
+		for j := range row {
+			p := math.Exp(float64(row[j]-maxv)) / sum
+			g := p
+			if j == label {
+				g -= 1
+			}
+			grad.Data[s*c+j] = float32(g * invN)
+		}
+	}
+	return loss, grad
+}
+
+// Accuracy returns the top-1 accuracy of logits [N, Classes] against labels.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, c := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		best := 0
+		for j := 1; j < c; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if best == labels[s] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,111 @@
+package models
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// tensorT shortens the layer signatures below.
+type tensorT = tensor.Tensor
+
+// MobileNetV2Mini is a scaled-down MobileNetV2: a conv+BN+ReLU6 stem
+// followed by inverted-residual bottlenecks (1×1 expand → 3×3 depthwise →
+// 1×1 project, residual add when shapes match), global pooling, and a dense
+// classifier. Its relatively heavy use of batch norm is why Table III
+// reports the lowest lossy fraction (96.94%) of the three models.
+func MobileNetV2Mini(rng *rand.Rand, in Input) *nn.Network {
+	layers := []nn.Layer{
+		nn.NewConv2D(rng, "features.0.0", in.Channels, 16, 3, 1, 1),
+		nn.NewBatchNorm2D("features.0.1", 16),
+		nn.NewReLU6("features.0.2"),
+	}
+	type spec struct {
+		expand, out, stride int
+	}
+	specs := []spec{
+		{2, 16, 1},
+		{3, 24, 2},
+		{3, 24, 1},
+		{3, 32, 2},
+		{3, 32, 1},
+	}
+	cur := 16
+	for i, s := range specs {
+		layers = append(layers, invertedResidual(rng, fmt.Sprintf("features.%d", i+1), cur, s.out, s.expand, s.stride))
+		cur = s.out
+	}
+	layers = append(layers,
+		nn.NewConv2D(rng, "features.head.0", cur, 64, 1, 1, 0),
+		nn.NewBatchNorm2D("features.head.1", 64),
+		nn.NewReLU6("features.head.2"),
+		nn.NewGlobalAvgPool("avgpool"),
+		nn.NewDense(rng, "classifier", 64, in.Classes),
+	)
+	return nn.NewNetwork("mobilenetv2-mini", layers...)
+}
+
+// invertedResidual builds the MobileNetV2 bottleneck. The residual add is
+// applied only for stride-1 blocks with matching channel counts.
+func invertedResidual(rng *rand.Rand, name string, inC, outC, expand, stride int) nn.Layer {
+	mid := inC * expand
+	body := []nn.Layer{
+		nn.NewConv2D(rng, name+".expand", inC, mid, 1, 1, 0),
+		nn.NewBatchNorm2D(name+".expand_bn", mid),
+		nn.NewReLU6(name + ".expand_relu"),
+		nn.NewDepthwiseConv2D(rng, name+".depthwise", mid, 3, stride, 1),
+		nn.NewBatchNorm2D(name+".depthwise_bn", mid),
+		nn.NewReLU6(name + ".depthwise_relu"),
+		nn.NewConv2D(rng, name+".project", mid, outC, 1, 1, 0),
+		nn.NewBatchNorm2D(name+".project_bn", outC),
+	}
+	if stride == 1 && inC == outC {
+		return nn.NewResidual(name, body, nil)
+	}
+	// Non-residual bottleneck: wrap as a residual with a projection skip of
+	// zero-cost is wrong; instead return a plain sequential wrapper.
+	return &sequentialBlock{name: name, layers: body}
+}
+
+// sequentialBlock groups layers under one name without a skip connection.
+type sequentialBlock struct {
+	name   string
+	layers []nn.Layer
+}
+
+func (s *sequentialBlock) Name() string { return s.name }
+
+func (s *sequentialBlock) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+func (s *sequentialBlock) FLOPs(in []int) (int64, []int) {
+	var total int64
+	shape := in
+	for _, l := range s.layers {
+		f, out := l.FLOPs(shape)
+		total += f
+		shape = out
+	}
+	return total, shape
+}
+
+func (s *sequentialBlock) Forward(x *tensorT, train bool) *tensorT {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+func (s *sequentialBlock) Backward(dy *tensorT) *tensorT {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dy = s.layers[i].Backward(dy)
+	}
+	return dy
+}

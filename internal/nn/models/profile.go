@@ -1,0 +1,118 @@
+package models
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/tensor"
+)
+
+// Profile state dicts: synthetic model states at (scaled) paper parameter
+// counts, used by the compression-ratio and runtime experiments where only
+// the weight *data* matters. Per-layer distributions follow Figure 3 of the
+// paper: every model's weights live inside ±1 with heavy mass near zero,
+// but with different spreads (MobileNetV2 widest, AlexNet narrowest).
+
+// ProfileSpec describes one paper model for profile generation.
+type ProfileSpec struct {
+	Name string
+	// Params is the paper's parameter count (Table III).
+	Params int
+	// LossyFraction is the fraction of state (by element count) that is
+	// dense weight data (Table III "% Lossy Data").
+	LossyFraction float64
+	// GFLOPs is the paper-reported forward cost (Table III).
+	GFLOPs float64
+	// SizeMB is the paper-reported state size (Table III).
+	SizeMB int
+	// weightScale is the Laplace scale of the bulk weight mass (Fig. 3).
+	weightScale float64
+}
+
+// ProfileSpecs returns the three paper models (Table III).
+func ProfileSpecs() []ProfileSpec {
+	return []ProfileSpec{
+		{Name: "mobilenetv2", Params: 3_500_000, LossyFraction: 0.9694, GFLOPs: 0.35, SizeMB: 14, weightScale: 0.06},
+		{Name: "resnet50", Params: 45_000_000, LossyFraction: 0.9947, GFLOPs: 8, SizeMB: 180, weightScale: 0.015},
+		{Name: "alexnet", Params: 60_000_000, LossyFraction: 0.9998, GFLOPs: 0.75, SizeMB: 230, weightScale: 0.012},
+	}
+}
+
+// ProfileSpecFor returns the spec for a paper model name.
+func ProfileSpecFor(name string) (ProfileSpec, error) {
+	for _, s := range ProfileSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ProfileSpec{}, fmt.Errorf("models: no profile spec for %q", name)
+}
+
+// BuildProfile synthesizes a state dict for the named paper model with
+// parameter count Params·scale. scale in (0, 1] trades benchmark fidelity
+// for runtime; the experiments default to 0.1 and report both raw and
+// paper-extrapolated sizes.
+func BuildProfile(name string, rng *rand.Rand, scale float64) (*tensor.StateDict, error) {
+	spec, err := ProfileSpecFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("models: profile scale %g outside (0,1]", scale)
+	}
+	total := int(float64(spec.Params) * scale)
+	lossy := int(float64(total) * spec.LossyFraction)
+	meta := total - lossy
+
+	sd := tensor.NewStateDict()
+	// Split the weight mass across layers of varying width and spread, the
+	// way real conv stacks look (early layers wider distributions).
+	nLayers := 12
+	remaining := lossy
+	for i := 0; i < nLayers && remaining > 0; i++ {
+		sz := remaining / (nLayers - i)
+		if i == nLayers-1 {
+			sz = remaining
+		}
+		remaining -= sz
+		// Layer spread varies ±2x around the model's bulk scale.
+		s := spec.weightScale * (0.5 + 1.5*float64(i)/float64(nLayers-1))
+		t := tensor.New(sz)
+		for j := range t.Data {
+			v := s * (rng.ExpFloat64() - rng.ExpFloat64()) // Laplace(0, s)
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			t.Data[j] = float32(v)
+		}
+		sd.Add(fmt.Sprintf("features.%d.weight", i), tensor.KindWeight, t)
+	}
+	// Metadata: biases, running means (near 0), running vars (near 1),
+	// counters — small, non-uniform float arrays (paper §V-E).
+	if meta > 0 {
+		nb := meta / 3
+		nm := meta / 3
+		nv := meta - nb - nm
+		bias := tensor.New(max(nb, 1))
+		for j := range bias.Data {
+			bias.Data[j] = float32(0.01 * rng.NormFloat64())
+		}
+		sd.Add("features.bias_all", tensor.KindBias, bias)
+		mean := tensor.New(max(nm, 1))
+		for j := range mean.Data {
+			mean.Data[j] = float32(0.1 * rng.NormFloat64())
+		}
+		sd.Add("bn.running_mean_all", tensor.KindRunningStat, mean)
+		variance := tensor.New(max(nv, 1))
+		for j := range variance.Data {
+			variance.Data[j] = float32(1 + 0.2*rng.NormFloat64())
+		}
+		sd.Add("bn.running_var_all", tensor.KindRunningStat, variance)
+		count := tensor.New(1)
+		count.Data[0] = 1000
+		sd.Add("bn.num_batches_tracked", tensor.KindScalarMeta, count)
+	}
+	return sd, nil
+}

@@ -1,0 +1,44 @@
+// Package models provides the three architectures the FedSZ paper evaluates
+// (AlexNet, MobileNetV2, ResNet50) in two forms:
+//
+//   - Mini variants: genuinely trainable scaled-down networks with the same
+//     structural signatures (AlexNet: conv+pool+big dense, no batch norm;
+//     MobileNetV2: inverted residuals with depthwise conv + BN + ReLU6;
+//     ResNet: basic residual blocks with BN). These run the accuracy
+//     experiments.
+//   - Profile variants: synthetic state dicts at (scaled) paper parameter
+//     counts whose per-layer weight distributions match Figure 3, used for
+//     compression-ratio and runtime benchmarking where only the *data*
+//     matters, not trainability.
+package models
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/nn"
+)
+
+// Input describes the image shape a mini model is built for.
+type Input struct {
+	Channels, Height, Width int
+	Classes                 int
+}
+
+// BuildMini constructs a trainable mini model by paper name ("alexnet",
+// "mobilenetv2", "resnet50").
+func BuildMini(name string, rng *rand.Rand, in Input) (*nn.Network, error) {
+	switch name {
+	case "alexnet":
+		return AlexNetMini(rng, in), nil
+	case "mobilenetv2":
+		return MobileNetV2Mini(rng, in), nil
+	case "resnet50":
+		return ResNetMini(rng, in), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+}
+
+// Names lists the supported model names in paper order.
+func Names() []string { return []string{"alexnet", "mobilenetv2", "resnet50"} }

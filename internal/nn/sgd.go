@@ -1,0 +1,46 @@
+package nn
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay — the local optimizer FedAvg clients run (paper §VI-A).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param][]float32
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param][]float32)}
+}
+
+// Step applies one update to all trainable parameters and leaves gradients
+// untouched (call Network.ZeroGrads before the next accumulation).
+func (o *SGD) Step(params []*Param) {
+	lr := float32(o.LR)
+	mom := float32(o.Momentum)
+	wd := float32(o.WeightDecay)
+	for _, p := range params {
+		if !p.Trainable() {
+			continue
+		}
+		v := o.velocity[p]
+		if v == nil && mom != 0 {
+			v = make([]float32, p.Val.NumElems())
+			o.velocity[p] = v
+		}
+		for i := range p.Val.Data {
+			g := p.Grad.Data[i]
+			if wd != 0 {
+				g += wd * p.Val.Data[i]
+			}
+			if mom != 0 {
+				v[i] = mom*v[i] + g
+				g = v[i]
+			}
+			p.Val.Data[i] -= lr * g
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+)
+
+// Differential-privacy estimation — the paper's future-work direction
+// (§VII-D / §VIII-B): if FedSZ's decompression error behaves like Laplace
+// noise, the classic Laplace mechanism (Dwork et al., TCC 2006) maps a
+// noise scale b and query sensitivity Δ to an ε-DP guarantee via
+// ε = Δ / b. These helpers quantify that correspondence; they do NOT
+// constitute a formal DP proof (the compression error is data-dependent,
+// which the paper also cautions about).
+
+// DPEstimate summarizes the Laplace-mechanism view of a compression-error
+// vector.
+type DPEstimate struct {
+	// Fit is the Laplace fit of the error distribution.
+	Fit LaplaceFit
+	// Sensitivity is the assumed L1 sensitivity of the released quantity.
+	Sensitivity float64
+	// Epsilon is the ε the Laplace mechanism would need scale Fit.B for.
+	Epsilon float64
+	// KSLaplace / KSGauss measure how Laplacian the noise actually is.
+	KSLaplace, KSGauss float64
+}
+
+// EstimateLaplaceDP fits the error vector and converts the fitted scale to
+// an equivalent Laplace-mechanism ε for the given L1 sensitivity.
+// Sensitivity must be positive.
+func EstimateLaplaceDP(errs []float32, sensitivity float64) DPEstimate {
+	if sensitivity <= 0 {
+		panic("stats: sensitivity must be positive")
+	}
+	lf := FitLaplace(errs)
+	gf := FitGaussian(errs)
+	eps := math.Inf(1)
+	if lf.B > 0 {
+		eps = sensitivity / lf.B
+	}
+	return DPEstimate{
+		Fit:         lf,
+		Sensitivity: sensitivity,
+		Epsilon:     eps,
+		KSLaplace:   KSDistance(errs, lf.CDF),
+		KSGauss:     KSDistance(errs, gf.CDF),
+	}
+}
+
+// PlausiblyLaplacian reports whether the error vector is closer to its
+// Laplace fit than to its Gaussian fit and the Laplace fit is tight enough
+// (KS below threshold) for the ε estimate to be meaningful.
+func (d DPEstimate) PlausiblyLaplacian(ksThreshold float64) bool {
+	return d.KSLaplace < d.KSGauss && d.KSLaplace < ksThreshold
+}
+
+// NoiseScaleForEpsilon inverts the Laplace mechanism: the noise scale b
+// required for ε-DP at the given L1 sensitivity. Callers can compare this
+// to the scale a chosen error bound induces to pick a bound that provides
+// a target privacy level "for free".
+func NoiseScaleForEpsilon(sensitivity, epsilon float64) float64 {
+	if sensitivity <= 0 || epsilon <= 0 {
+		panic("stats: sensitivity and epsilon must be positive")
+	}
+	return sensitivity / epsilon
+}

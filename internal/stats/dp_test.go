@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEstimateLaplaceDPOnSyntheticNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Laplace(0, 0.02) noise with sensitivity 1: ε should estimate ~50.
+	errs := laplaceSample(rng, 0, 0.02, 30000)
+	d := EstimateLaplaceDP(errs, 1)
+	if math.Abs(d.Epsilon-50) > 5 {
+		t.Fatalf("epsilon %v want ~50", d.Epsilon)
+	}
+	if !d.PlausiblyLaplacian(0.05) {
+		t.Fatalf("true Laplace noise rejected: KS(L)=%v KS(G)=%v", d.KSLaplace, d.KSGauss)
+	}
+}
+
+func TestGaussianNoiseNotPlausiblyLaplacian(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	errs := gaussSample(rng, 0, 0.02, 30000)
+	d := EstimateLaplaceDP(errs, 1)
+	if d.KSLaplace >= d.KSGauss {
+		// Acceptable only if the KS margin makes Plausibly false anyway.
+		t.Logf("KS(L)=%v KS(G)=%v", d.KSLaplace, d.KSGauss)
+	}
+	if d.PlausiblyLaplacian(0.01) {
+		t.Fatal("Gaussian noise should not pass a tight Laplacian check")
+	}
+}
+
+func TestNoiseScaleForEpsilonInverse(t *testing.T) {
+	b := NoiseScaleForEpsilon(2, 10) // Δ=2, ε=10 → b=0.2
+	if math.Abs(b-0.2) > 1e-12 {
+		t.Fatalf("b = %v want 0.2", b)
+	}
+	// Round trip: a Laplace fit at that scale recovers ε.
+	rng := rand.New(rand.NewPCG(5, 6))
+	errs := laplaceSample(rng, 0, b, 30000)
+	d := EstimateLaplaceDP(errs, 2)
+	if math.Abs(d.Epsilon-10) > 1 {
+		t.Fatalf("round-trip epsilon %v want ~10", d.Epsilon)
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { EstimateLaplaceDP([]float32{1}, 0) },
+		func() { NoiseScaleForEpsilon(0, 1) },
+		func() { NoiseScaleForEpsilon(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic for non-positive parameter")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEpsilonTracksErrorBound(t *testing.T) {
+	// Looser bounds inject more noise → smaller ε (more privacy). This is
+	// the qualitative relationship §VII-D suggests exploiting.
+	rng := rand.New(rand.NewPCG(7, 8))
+	small := EstimateLaplaceDP(laplaceSample(rng, 0, 0.01, 20000), 1)
+	large := EstimateLaplaceDP(laplaceSample(rng, 0, 0.1, 20000), 1)
+	if large.Epsilon >= small.Epsilon {
+		t.Fatalf("more noise must mean smaller epsilon: %v vs %v", large.Epsilon, small.Epsilon)
+	}
+}

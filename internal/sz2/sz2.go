@@ -1,0 +1,286 @@
+// Package sz2 is a pure-Go reimplementation of the SZ2 error-bounded lossy
+// compressor (Liang et al., IEEE Big Data 2018) specialized for the 1-D
+// float32 arrays FedSZ produces by flattening model weight tensors.
+//
+// Pipeline (mirroring the C library's design):
+//
+//  1. Split the array into fixed-size blocks.
+//  2. Per block, choose between a 1-D Lorenzo predictor (previous
+//     reconstructed value) and a per-block linear regression predictor,
+//     whichever yields smaller expected residuals (SZ2's hybrid design).
+//  3. Quantize prediction residuals into 2·eb-wide bins; residuals outside
+//     the code range become escape-coded IEEE-754 literals.
+//  4. Entropy-code the quantization codes with canonical Huffman.
+//  5. Run the concatenated payload through an LZ+Huffman lossless stage
+//     (standing in for SZ2's Zstd stage) and keep it when smaller.
+//
+// Decompression reverses the stages; Lorenzo predictions use previously
+// *reconstructed* values so encoder and decoder stay in lockstep.
+package sz2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ebcl"
+	"repro/internal/huffman"
+	"repro/internal/tensor"
+)
+
+const (
+	magic     = 0x535A0002 // "SZ\0\2"
+	blockSize = 256
+
+	predLorenzo    = 0
+	predRegression = 1
+)
+
+// Params is re-exported so callers importing only this package can build
+// error bounds without also importing ebcl.
+type Params = ebcl.Params
+
+// Compressor implements ebcl.Compressor. The zero value is ready to use;
+// NewCompressor exists for symmetry with the other EBLC packages.
+type Compressor struct {
+	// DisableLosslessStage skips the final LZ pass (used by ablation
+	// benchmarks to isolate the entropy stage's contribution).
+	DisableLosslessStage bool
+}
+
+// NewCompressor returns an SZ2 compressor with default settings.
+func NewCompressor() *Compressor { return &Compressor{} }
+
+// Name implements ebcl.Compressor.
+func (c *Compressor) Name() string { return "sz2" }
+
+// Compress implements ebcl.Compressor.
+func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	if p.Mode == ebcl.ModeFixedPrecision {
+		return nil, fmt.Errorf("sz2: fixed-precision mode unsupported")
+	}
+	ebAbs, err := ebcl.ResolveAbs(data, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+	}
+	if ebAbs == 0 {
+		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		return binary.LittleEndian.AppendUint32(out, math.Float32bits(data[0])), nil
+	}
+
+	q := ebcl.NewQuantizer(ebAbs)
+	nBlocks := (len(data) + blockSize - 1) / blockSize
+	predKinds := make([]byte, nBlocks)
+	coeffs := make([]float32, 0, 16)
+	codes := make([]int, len(data))
+	var literals []float32
+
+	prevRecon := 0.0 // Lorenzo state: last reconstructed value
+	for b := 0; b < nBlocks; b++ {
+		lo := b * blockSize
+		hi := min(lo+blockSize, len(data))
+		block := data[lo:hi]
+		kind, a, bb := chooseBlockPredictor(block, prevRecon)
+		predKinds[b] = kind
+		if kind == predRegression {
+			coeffs = append(coeffs, a, bb)
+		}
+		for i, v := range block {
+			var pred float64
+			if kind == predLorenzo {
+				pred = prevRecon
+			} else {
+				pred = float64(a)*float64(i) + float64(bb)
+			}
+			code, recon, ok := q.Quantize(float64(v), pred)
+			if !ok {
+				codes[lo+i] = ebcl.EscapeCode
+				literals = append(literals, v)
+				prevRecon = float64(v)
+				continue
+			}
+			codes[lo+i] = code
+			prevRecon = float64(recon)
+		}
+	}
+
+	codeBlob, err := huffman.EncodeAll(codes, ebcl.QuantAlphabet)
+	if err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, 0, len(codeBlob)+4*len(literals)+64)
+	payload = ebcl.AppendSection(payload, predKinds)
+	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(coeffs))
+	payload = ebcl.AppendSection(payload, codeBlob)
+	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+
+	out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutFull)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
+	return ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage), nil
+}
+
+// Decompress implements ebcl.Compressor.
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
+	if err != nil {
+		return nil, err
+	}
+	switch layout {
+	case ebcl.LayoutEmpty:
+		return []float32{}, nil
+	case ebcl.LayoutConstant:
+		if len(rest) < 4 {
+			return nil, ebcl.ErrCorrupt
+		}
+		v := math.Float32frombits(binary.LittleEndian.Uint32(rest))
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case ebcl.LayoutFull:
+	default:
+		return nil, ebcl.ErrCorrupt
+	}
+	if len(rest) < 8 {
+		return nil, ebcl.ErrCorrupt
+	}
+	ebAbs := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	if !(ebAbs > 0) || math.IsInf(ebAbs, 0) {
+		return nil, ebcl.ErrCorrupt
+	}
+	payload, err := ebcl.ReadLosslessStage(rest[8:])
+	if err != nil {
+		return nil, err
+	}
+	predKinds, pos, err := ebcl.ReadSection(payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	coefBlob, pos, err := ebcl.ReadSection(payload, pos)
+	if err != nil {
+		return nil, err
+	}
+	codeBlob, pos, err := ebcl.ReadSection(payload, pos)
+	if err != nil {
+		return nil, err
+	}
+	litBlob, _, err := ebcl.ReadSection(payload, pos)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, err := tensor.BytesToFloat32s(coefBlob)
+	if err != nil {
+		return nil, ebcl.ErrCorrupt
+	}
+	literals, err := tensor.BytesToFloat32s(litBlob)
+	if err != nil {
+		return nil, ebcl.ErrCorrupt
+	}
+	codes, err := huffman.DecodeAll(codeBlob, ebcl.QuantAlphabet)
+	if err != nil {
+		return nil, err
+	}
+	if len(codes) != n {
+		return nil, ebcl.ErrCorrupt
+	}
+	nBlocks := (n + blockSize - 1) / blockSize
+	if len(predKinds) != nBlocks {
+		return nil, ebcl.ErrCorrupt
+	}
+
+	q := ebcl.NewQuantizer(ebAbs)
+	out := make([]float32, n)
+	prevRecon := 0.0
+	coefIdx, litIdx := 0, 0
+	for b := 0; b < nBlocks; b++ {
+		lo := b * blockSize
+		hi := min(lo+blockSize, n)
+		kind := predKinds[b]
+		var a, bb float32
+		switch kind {
+		case predRegression:
+			if coefIdx+2 > len(coeffs) {
+				return nil, ebcl.ErrCorrupt
+			}
+			a, bb = coeffs[coefIdx], coeffs[coefIdx+1]
+			coefIdx += 2
+		case predLorenzo:
+		default:
+			return nil, ebcl.ErrCorrupt
+		}
+		for i := lo; i < hi; i++ {
+			code := codes[i]
+			if code == ebcl.EscapeCode {
+				if litIdx >= len(literals) {
+					return nil, ebcl.ErrCorrupt
+				}
+				out[i] = literals[litIdx]
+				litIdx++
+				prevRecon = float64(out[i])
+				continue
+			}
+			var pred float64
+			if kind == predLorenzo {
+				pred = prevRecon
+			} else {
+				pred = float64(a)*float64(i-lo) + float64(bb)
+			}
+			out[i] = q.Dequantize(code, pred)
+			prevRecon = float64(out[i])
+		}
+	}
+	if litIdx != len(literals) {
+		return nil, ebcl.ErrCorrupt
+	}
+	return out, nil
+}
+
+// chooseBlockPredictor estimates which predictor yields smaller residuals
+// over the block, mirroring SZ2's sampled hybrid selection. Lorenzo error is
+// approximated on original values (the reconstructed stream differs by at
+// most ebAbs per point, which does not change the ranking materially).
+func chooseBlockPredictor(block []float32, prev float64) (kind byte, a, b float32) {
+	if len(block) < 8 {
+		return predLorenzo, 0, 0
+	}
+	af, bf := fitLine(block)
+	var lorenzoErr, regErr float64
+	p := prev
+	for i, v := range block {
+		fv := float64(v)
+		lorenzoErr += math.Abs(fv - p)
+		p = fv
+		regErr += math.Abs(fv - (af*float64(i) + bf))
+	}
+	// The regression block pays 8 bytes of coefficients; require a real win.
+	if regErr*1.05+1e-12 < lorenzoErr {
+		return predRegression, float32(af), float32(bf)
+	}
+	return predLorenzo, 0, 0
+}
+
+// fitLine computes the least-squares line v ≈ a·i + b over block indices.
+func fitLine(block []float32) (a, b float64) {
+	n := float64(len(block))
+	var sx, sy, sxx, sxy float64
+	for i, v := range block {
+		x := float64(i)
+		y := float64(v)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	a = (n*sxy - sx*sy) / den
+	b = (sy - a*sx) / n
+	return a, b
+}

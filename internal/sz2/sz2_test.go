@@ -1,0 +1,136 @@
+package sz2_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/sz2"
+)
+
+func TestConformance(t *testing.T) {
+	eblctest.RunConformance(t, sz2.NewCompressor(), eblctest.Options{
+		StrictBound:   true,
+		MinRatioAt1e2: 5,
+	})
+}
+
+func TestDisableLosslessStage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := eblctest.WeightLike(rng, 1<<15)
+	plain := &sz2.Compressor{DisableLosslessStage: true}
+	staged := sz2.NewCompressor()
+	sp, err := plain.Compress(data, ebcl.Rel(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := staged.Compress(data, ebcl.Rel(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) > len(sp) {
+		t.Errorf("lossless stage grew the stream: %d > %d", len(ss), len(sp))
+	}
+	// Both must decompress identically within bound.
+	op, err := plain.Decompress(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := staged.Decompress(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range op {
+		if op[i] != os[i] {
+			t.Fatalf("stage changed reconstruction at %d", i)
+		}
+	}
+}
+
+func TestRegressionBlocksChosenOnLinearData(t *testing.T) {
+	// A strongly linear ramp with noise should engage the regression
+	// predictor and still satisfy the bound.
+	data := make([]float32, 4096)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := range data {
+		data[i] = float32(0.001*float64(i) + 0.0001*rng.NormFloat64())
+	}
+	c := sz2.NewCompressor()
+	stream, err := c.Compress(data, ebcl.Rel(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebAbs := 1e-3 * ebcl.ValueRange(data)
+	if got := ebcl.MaxAbsError(data, out); got > ebAbs*(1+1e-6) {
+		t.Fatalf("max error %g exceeds %g", got, ebAbs)
+	}
+	ratio := float64(4*len(data)) / float64(len(stream))
+	if ratio < 8 {
+		t.Errorf("linear data should compress well, got ratio %.2f", ratio)
+	}
+}
+
+func TestNonFiniteValuesSurviveAsLiterals(t *testing.T) {
+	data := []float32{0.5, float32(math.Inf(1)), -0.5, float32(math.NaN()), 0.25}
+	c := sz2.NewCompressor()
+	stream, err := c.Compress(data, ebcl.Abs(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(out[1]), 1) {
+		t.Errorf("Inf not preserved: %v", out[1])
+	}
+	if !math.IsNaN(float64(out[3])) {
+		t.Errorf("NaN not preserved: %v", out[3])
+	}
+	for _, i := range []int{0, 2, 4} {
+		if math.Abs(float64(out[i])-float64(data[i])) > 0.01 {
+			t.Errorf("finite value %d off: %v vs %v", i, out[i], data[i])
+		}
+	}
+}
+
+func BenchmarkCompress1e2(b *testing.B) { benchCompress(b, 1e-2) }
+func BenchmarkCompress1e4(b *testing.B) { benchCompress(b, 1e-4) }
+
+func benchCompress(b *testing.B, eb float64) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := eblctest.WeightLike(rng, 1<<20)
+	c := sz2.NewCompressor()
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, ebcl.Rel(eb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress1e2(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := eblctest.WeightLike(rng, 1<<20)
+	c := sz2.NewCompressor()
+	stream, err := c.Compress(data, ebcl.Rel(1e-2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

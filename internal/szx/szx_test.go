@@ -1,0 +1,116 @@
+package szx_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/sz2"
+	"repro/internal/szx"
+)
+
+func TestConformance(t *testing.T) {
+	eblctest.RunConformance(t, szx.NewCompressor(), eblctest.Options{
+		StrictBound:   true,
+		MinRatioAt1e2: 2,
+	})
+}
+
+func TestConstantBlockCollapse(t *testing.T) {
+	// The paper's key SZx observation: under a range-relative bound, blocks
+	// of small weights collapse to a single midpoint, erasing sign
+	// structure. Construct data where the global range is dominated by two
+	// outliers and verify the near-zero mass collapses.
+	rng := rand.New(rand.NewPCG(6, 6))
+	n := 4096
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(0.005 * rng.NormFloat64()) // tiny weights
+	}
+	data[0], data[1] = 1, -1 // outliers set range to 2
+	c := szx.NewCompressor()
+	stream, err := c.Compress(data, ebcl.Rel(1e-2)) // ebAbs = 0.02
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound still holds...
+	if got := ebcl.MaxAbsError(data, out); got > 0.02*(1+1e-6) {
+		t.Fatalf("bound violated: %g", got)
+	}
+	// ...but sign structure is destroyed: many values changed sign.
+	signFlips := 0
+	for i := 2; i < n; i++ {
+		if (data[i] > 0) != (out[i] > 0) && out[i] != data[i] {
+			signFlips++
+		}
+	}
+	if signFlips < n/10 {
+		t.Errorf("expected widespread sign collapse, got %d flips of %d", signFlips, n)
+	}
+	// And the ratio is high because nearly every block went constant.
+	ratio := float64(4*n) / float64(len(stream))
+	if ratio < 20 {
+		t.Errorf("collapsed data should compress hard, ratio %.2f", ratio)
+	}
+}
+
+func TestSpeedSupremacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	// SZx must be much faster than SZ2 (paper Table I shows ~50x); assert a
+	// loose 2x to stay robust on shared machines.
+	rng := rand.New(rand.NewPCG(9, 9))
+	data := eblctest.WeightLike(rng, 1<<20)
+	cx := szx.NewCompressor()
+	c2 := sz2.NewCompressor()
+	t0 := time.Now()
+	if _, err := cx.Compress(data, ebcl.Rel(1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	dx := time.Since(t0)
+	t0 = time.Now()
+	if _, err := c2.Compress(data, ebcl.Rel(1e-2)); err != nil {
+		t.Fatal(err)
+	}
+	d2 := time.Since(t0)
+	t.Logf("szx=%v sz2=%v", dx, d2)
+	if dx*2 > d2 {
+		t.Errorf("szx (%v) not at least 2x faster than sz2 (%v)", dx, d2)
+	}
+}
+
+func BenchmarkCompress1e2(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := eblctest.WeightLike(rng, 1<<20)
+	c := szx.NewCompressor()
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(data, ebcl.Rel(1e-2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress1e2(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := eblctest.WeightLike(rng, 1<<20)
+	c := szx.NewCompressor()
+	stream, _ := c.Compress(data, ebcl.Rel(1e-2))
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package zfp is a pure-Go reimplementation of the ZFP fixed-rate/precision
+// compressed floating-point array codec (Lindstrom, TVCG 2014) for 1-D
+// float32 data, in fixed-precision mode — the mode the FedSZ paper selects
+// as the closest analogue to a relative error bound (§V-D1).
+//
+// Per 4-value block:
+//
+//  1. Block-float conversion: values are scaled by the block's common
+//     exponent into 32-bit signed fixed point.
+//  2. The ZFP forward lifting transform decorrelates the block (an exact
+//     integer approximation of an orthogonal transform).
+//  3. Coefficients map to negabinary so magnitude ordering survives.
+//  4. Bit planes are encoded MSB-first with ZFP's embedded group-testing
+//     scheme; fixed-precision mode keeps the top `precision` planes.
+//
+// Because the paper's relative-bound sweeps drive all four compressors with
+// one knob, Compress also accepts ModeRelative/ModeAbsolute and maps the
+// bound to an equivalent precision (≈ log2(1/eb) bit planes); like real
+// ZFP's precision mode this provides no hard error guarantee, only an
+// empirically tight one.
+package zfp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/ebcl"
+)
+
+const (
+	magic     = 0x5A465031 // "ZFP1"
+	blockLen  = 4
+	intScale  = 30 // fixed-point scale: values in [-1,1] → ±2^30
+	nbmask    = 0xaaaaaaaa
+	maxPlanes = 32
+)
+
+// Params re-exports ebcl.Params.
+type Params = ebcl.Params
+
+// Compressor implements ebcl.Compressor.
+type Compressor struct{}
+
+// NewCompressor returns a ZFP compressor.
+func NewCompressor() *Compressor { return &Compressor{} }
+
+// Name implements ebcl.Compressor.
+func (c *Compressor) Name() string { return "zfp" }
+
+// PrecisionForBound maps a relative error bound to the plane count used in
+// fixed-precision mode (paper: "the closest analogous option").
+func PrecisionForBound(eb float64) int {
+	if eb <= 0 {
+		return maxPlanes
+	}
+	p := int(math.Ceil(math.Log2(1/eb))) + 2
+	if p < 2 {
+		p = 2
+	}
+	if p > maxPlanes {
+		p = maxPlanes
+	}
+	return p
+}
+
+// Compress implements ebcl.Compressor.
+func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	var precision int
+	switch p.Mode {
+	case ebcl.ModeFixedPrecision:
+		if p.Value < 1 || p.Value > maxPlanes {
+			return nil, fmt.Errorf("zfp: precision %g out of [1,%d]", p.Value, maxPlanes)
+		}
+		precision = int(p.Value)
+	case ebcl.ModeRelative, ebcl.ModeAbsolute:
+		if p.Value <= 0 {
+			return nil, fmt.Errorf("zfp: bound must be positive, got %g", p.Value)
+		}
+		precision = PrecisionForBound(p.Value)
+	default:
+		return nil, fmt.Errorf("zfp: unknown mode %v", p.Mode)
+	}
+	if len(data) == 0 {
+		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+	}
+	if constant := allEqual(data); constant {
+		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		return append(out,
+			byte(math.Float32bits(data[0])),
+			byte(math.Float32bits(data[0])>>8),
+			byte(math.Float32bits(data[0])>>16),
+			byte(math.Float32bits(data[0])>>24)), nil
+	}
+
+	out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutFull)
+	out = append(out, byte(precision))
+	w := bitio.NewWriter(len(data) * precision / 8)
+
+	var block [blockLen]float32
+	for lo := 0; lo < len(data); lo += blockLen {
+		hi := min(lo+blockLen, len(data))
+		m := copy(block[:], data[lo:hi])
+		for i := m; i < blockLen; i++ {
+			block[i] = block[m-1] // pad partial tail block
+		}
+		encodeBlock(w, &block, precision)
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+// Decompress implements ebcl.Compressor.
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
+	if err != nil {
+		return nil, err
+	}
+	switch layout {
+	case ebcl.LayoutEmpty:
+		return []float32{}, nil
+	case ebcl.LayoutConstant:
+		if len(rest) < 4 {
+			return nil, ebcl.ErrCorrupt
+		}
+		bits := uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24
+		v := math.Float32frombits(bits)
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out, nil
+	case ebcl.LayoutFull:
+	default:
+		return nil, ebcl.ErrCorrupt
+	}
+	if len(rest) < 1 {
+		return nil, ebcl.ErrCorrupt
+	}
+	precision := int(rest[0])
+	if precision < 1 || precision > maxPlanes {
+		return nil, ebcl.ErrCorrupt
+	}
+	r := bitio.NewReader(rest[1:])
+	// Each 4-value block costs at least its 1 zero-flag bit; reject counts
+	// the stream cannot possibly carry before allocating.
+	if n/blockLen > r.BitsRemaining() {
+		return nil, ebcl.ErrCorrupt
+	}
+	out := make([]float32, 0, n)
+	var block [blockLen]float32
+	for len(out) < n {
+		if err := decodeBlock(r, &block, precision); err != nil {
+			return nil, err
+		}
+		take := min(blockLen, n-len(out))
+		out = append(out, block[:take]...)
+	}
+	return out, nil
+}
+
+// encodeBlock writes one 4-value block: a zero flag, the common exponent,
+// and the group-tested bit planes of the negabinary coefficients.
+func encodeBlock(w *bitio.Writer, block *[blockLen]float32, precision int) {
+	var maxAbs float64
+	for _, v := range block {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		// All-zero (or non-finite, which we clamp to zero) block.
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	emax := int(math.Floor(math.Log2(maxAbs))) + 1 // values < 2^emax
+	w.WriteBits(uint64(uint16(int16(emax+256))), 10)
+
+	scale := math.Ldexp(1, intScale-emax)
+	var iv [blockLen]int32
+	for i, v := range block {
+		iv[i] = int32(float64(v) * scale)
+	}
+	fwdLift(&iv)
+	var u [blockLen]uint32
+	for i, x := range iv {
+		u[i] = negabinary(x)
+	}
+	// Embedded coding, MSB plane first, keeping `precision` planes.
+	sigCount := 0
+	for plane := 31; plane >= 32-precision; plane-- {
+		encodePlane(w, &u, plane, &sigCount)
+	}
+}
+
+func decodeBlock(r *bitio.Reader, block *[blockLen]float32, precision int) error {
+	flag, err := r.ReadBit()
+	if err != nil {
+		return ebcl.ErrCorrupt
+	}
+	if flag == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+		return nil
+	}
+	e10, err := r.ReadBits(10)
+	if err != nil {
+		return ebcl.ErrCorrupt
+	}
+	emax := int(int16(e10)) - 256
+
+	var u [blockLen]uint32
+	sigCount := 0
+	for plane := 31; plane >= 32-precision; plane-- {
+		if err := decodePlane(r, &u, plane, &sigCount); err != nil {
+			return err
+		}
+	}
+	var iv [blockLen]int32
+	for i, x := range u {
+		iv[i] = fromNegabinary(x)
+	}
+	invLift(&iv)
+	scale := math.Ldexp(1, emax-intScale)
+	for i, x := range iv {
+		block[i] = float32(float64(x) * scale)
+	}
+	return nil
+}
+
+// encodePlane implements ZFP's embedded group-test coding of one bit plane.
+// sigCount values are already significant (in coefficient order) and emit
+// their plane bit verbatim; the insignificant tail is coded with a test bit
+// per group followed by a unary search for each newly significant value.
+func encodePlane(w *bitio.Writer, u *[blockLen]uint32, plane int, sigCount *int) {
+	bit := func(i int) uint { return uint(u[i]>>uint(plane)) & 1 }
+	n := *sigCount
+	for i := 0; i < n; i++ {
+		w.WriteBit(bit(i))
+	}
+	for n < blockLen {
+		any := uint(0)
+		for j := n; j < blockLen; j++ {
+			if bit(j) == 1 {
+				any = 1
+				break
+			}
+		}
+		w.WriteBit(any)
+		if any == 0 {
+			break
+		}
+		for {
+			b := bit(n)
+			w.WriteBit(b)
+			n++
+			if b == 1 {
+				break
+			}
+		}
+	}
+	*sigCount = n
+}
+
+func decodePlane(r *bitio.Reader, u *[blockLen]uint32, plane int, sigCount *int) error {
+	n := *sigCount
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return ebcl.ErrCorrupt
+		}
+		u[i] |= uint32(b) << uint(plane)
+	}
+	for n < blockLen {
+		any, err := r.ReadBit()
+		if err != nil {
+			return ebcl.ErrCorrupt
+		}
+		if any == 0 {
+			break
+		}
+		// A valid stream has a 1-bit among the remaining values; a corrupt
+		// one may not, so bound the scan instead of trusting the test bit.
+		found := false
+		for n < blockLen {
+			b, err := r.ReadBit()
+			if err != nil {
+				return ebcl.ErrCorrupt
+			}
+			u[n] |= uint32(b) << uint(plane)
+			n++
+			if b == 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	*sigCount = n
+	return nil
+}
+
+// allEqual reports whether every element equals the first (bit-wise, so a
+// NaN-filled array is not treated as constant).
+func allEqual(data []float32) bool {
+	first := math.Float32bits(data[0])
+	for _, v := range data[1:] {
+		if math.Float32bits(v) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// fwdLift is ZFP's forward decorrelating lifting transform for 4 values.
+func fwdLift(p *[blockLen]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// invLift exactly inverts fwdLift.
+func invLift(p *[blockLen]int32) {
+	x, y, z, w := p[0], p[1], p[2], p[3]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[1], p[2], p[3] = x, y, z, w
+}
+
+// negabinary maps a two's-complement int32 to an unsigned value whose
+// magnitude ordering matches bit-plane significance.
+func negabinary(x int32) uint32 {
+	return (uint32(x) + nbmask) ^ nbmask
+}
+
+func fromNegabinary(u uint32) int32 {
+	return int32((u ^ nbmask) - nbmask)
+}
