@@ -1,6 +1,7 @@
 // Command fedsz-bench regenerates the tables and figures of the FedSZ paper
 // (Wilkins et al., IPDPS 2024) from this module's from-scratch
-// implementation.
+// implementation, and simulates the aggregation-server ingest path that
+// motivates the paper's Equation 1.
 //
 // Usage:
 //
@@ -9,30 +10,61 @@
 //	fedsz-bench -run table1,fig4 # run a comma-separated subset
 //	fedsz-bench -full            # high-fidelity settings (slower)
 //	fedsz-bench -list            # list experiment IDs
+//
+// Server-ingest simulation (batched decode, paper Eqn 1):
+//
+//	fedsz-bench -clients 64 -parallel 8      # 64 client streams, 8-way budget
+//	fedsz-bench -clients 64 -rounds 5 -scale 0.05
+//
+// One process stands in for an aggregation server receiving N concurrent
+// client streams per round; it reports per-round decode wall time and
+// throughput for a serial decoder versus the shared-pool parallel decoder,
+// plus the Eqn-1 compress/don't-compress decision on a constrained link.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/rand/v2"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/ebcl"
 	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/nn/models"
+	"repro/internal/sched"
+	"repro/internal/tensor"
 )
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		full   = flag.Bool("full", false, "high-fidelity configuration (slower)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		seed   = flag.Uint64("seed", 1, "base seed for synthetic data and training")
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full     = flag.Bool("full", false, "high-fidelity configuration (slower)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed     = flag.Uint64("seed", 1, "base seed for synthetic data and training")
+		clients  = flag.Int("clients", 0, "simulate an aggregation server ingesting N client streams (0 = run experiments instead)")
+		parallel = flag.Int("parallel", 0, "decode parallelism budget shared across the batch (0 = GOMAXPROCS)")
+		rounds   = flag.Int("rounds", 3, "ingest rounds to simulate (with -clients)")
+		scale    = flag.Float64("scale", 0.05, "model profile scale (with -clients)")
+		model    = flag.String("model", "alexnet", "profile model for client updates (with -clients)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *clients > 0 {
+		if err := runServerSim(os.Stdout, *clients, *parallel, *rounds, *model, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -78,4 +110,89 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runServerSim plays one process as the aggregation server of the paper's
+// Eqn-1 scenario: nClients updates arrive each round and must be decoded
+// before FedAvg can aggregate. It compares the serial seed-style decoder
+// against the shared-pool batched decoder at the requested budget.
+func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, scale float64, seed uint64) error {
+	// Synthesize per-client updates: same architecture, different weights,
+	// like a real round's worth of client deltas.
+	updates := make([]*tensor.StateDict, nClients)
+	for i := range updates {
+		rng := rand.New(rand.NewPCG(seed, uint64(i)+1))
+		sd, err := models.BuildProfile(model, rng, scale)
+		if err != nil {
+			return err
+		}
+		updates[i] = sd
+	}
+	rawBytes := 0
+	for _, sd := range updates {
+		rawBytes += sd.SizeBytes()
+	}
+
+	t0 := time.Now()
+	streams, _, err := core.CompressAll(updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
+	if err != nil {
+		return err
+	}
+	tC := time.Since(t0)
+	wireBytes := 0
+	for _, s := range streams {
+		wireBytes += len(s)
+	}
+
+	fmt.Fprintf(w, "server ingest simulation: %d clients × %s profile (scale %g)\n", nClients, model, scale)
+	fmt.Fprintf(w, "raw %d B -> wire %d B (ratio %.2fx), batch compress %v\n\n",
+		rawBytes, wireBytes, float64(rawBytes)/float64(wireBytes), tC.Round(time.Millisecond))
+
+	fmt.Fprintf(w, "%-10s %-8s %-14s %-14s %-12s\n", "decoder", "round", "decode time", "streams/s", "MB/s (raw)")
+	for _, mode := range []struct {
+		label string
+		par   int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("pool(%d)", sched.NewPool(parallelism).Parallelism()), parallelism},
+	} {
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			decoded, _, err := core.DecompressAll(streams, mode.par)
+			if err != nil {
+				return err
+			}
+			dur := time.Since(t0)
+			if len(decoded) != nClients {
+				return fmt.Errorf("decoded %d of %d streams", len(decoded), nClients)
+			}
+			fmt.Fprintf(w, "%-10s %-8d %-14v %-14.1f %-12.1f\n",
+				mode.label, r, dur.Round(time.Microsecond),
+				float64(nClients)/dur.Seconds(),
+				float64(rawBytes)/dur.Seconds()/1e6)
+		}
+	}
+
+	// Eqn 1 on the edge uplink: does compression pay off per client? The
+	// per-client tC/tD are measured on a single update/stream — an edge
+	// client compresses alone and cannot amortize the batch parallelism,
+	// so dividing the batch wall time by N would understate its cost.
+	t0 = time.Now()
+	if _, _, err := core.Compress(updates[0], core.Options{LossyParams: ebcl.Rel(1e-2)}); err != nil {
+		return err
+	}
+	tC1 := time.Since(t0)
+	t0 = time.Now()
+	if _, _, err := core.Decompress(streams[0]); err != nil {
+		return err
+	}
+	tD1 := time.Since(t0)
+	perClientRaw := rawBytes / nClients
+	perClientWire := wireBytes / nClients
+	link := netsim.EdgeLink
+	dec := netsim.ShouldCompress(tC1, tD1, perClientRaw, perClientWire, link)
+	fmt.Fprintf(w, "\nEqn 1 @ %.0f Mbps: compress=%v (compressed %v vs raw %v per client)\n",
+		link.BandwidthMbps, dec.Compress,
+		dec.CompressedTime.Round(time.Microsecond), dec.UncompressedTime.Round(time.Microsecond))
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerSimSmoke drives the -clients/-parallel aggregation-server
+// simulation at quickstart size and checks the report structure.
+func TestServerSimSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := runServerSim(&sb, 4, 2, 1, "alexnet", 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"server ingest simulation", "serial", "pool(2)", "Eqn 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServerSimRejectsUnknownModel(t *testing.T) {
+	var sb strings.Builder
+	if err := runServerSim(&sb, 2, 1, 1, "nope", 0.01, 1); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

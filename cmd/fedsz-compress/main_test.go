@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDemoCompressDecompressRoundTrip drives the CLI logic end-to-end:
+// generate a small profile, compress to a file, decompress it back.
+func TestDemoCompressDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsz := filepath.Join(dir, "model.fsz")
+	sd := filepath.Join(dir, "restored.sd")
+
+	if err := run("", fsz, false, "alexnet", 0.01, 1e-2, "sz2", "blosclz"); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if fi, err := os.Stat(fsz); err != nil || fi.Size() == 0 {
+		t.Fatalf("no compressed output: %v", err)
+	}
+	if err := run(fsz, sd, true, "", 0, 0, "", ""); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if fi, err := os.Stat(sd); err != nil || fi.Size() == 0 {
+		t.Fatalf("no restored output: %v", err)
+	}
+	// The restored state dict must compress again (valid Marshal format).
+	if err := run(sd, "", false, "", 0, 1e-2, "szx", "gzip"); err != nil {
+		t.Fatalf("recompress restored dict: %v", err)
+	}
+}
+
+func TestRunRejectsMissingInput(t *testing.T) {
+	if err := run("", "", false, "", 0, 1e-2, "sz2", "blosclz"); err == nil {
+		t.Fatal("expected error without -in or -demo")
+	}
+	if err := run("", "", false, "alexnet", 0.01, 1e-2, "nope", "blosclz"); err == nil {
+		t.Fatal("expected error for unknown compressor")
+	}
+}

@@ -107,10 +107,16 @@ func (uniformQuantizer) Decompress(stream []byte) ([]float32, error) {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	if err := fedsz.RegisterCompressor("uniform16", func() fedsz.Compressor {
 		return uniformQuantizer{}
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// A weight-shaped update.
@@ -126,20 +132,20 @@ func main() {
 	for _, name := range []string{"uniform16", "sz2"} {
 		comp, err := fedsz.CompressorByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		stream, stats, err := fedsz.Compress(sd, fedsz.Options{
 			Lossy:       comp,
 			LossyParams: fedsz.RelBound(1e-2),
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		// Streams are self-describing: Decompress finds uniform16 in the
 		// registry without being told.
 		restored, err := fedsz.Decompress(stream)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var maxErr float64
 		r := restored.Get("layer.weight").Data
@@ -153,4 +159,5 @@ func main() {
 	fmt.Println("\nSZ2's prediction + Huffman stages buy ~4-8x over plain 16-bit")
 	fmt.Println("quantization at the same error bound — the gap the paper's")
 	fmt.Println("compressor study (Table I) is about.")
+	return nil
 }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestCustomCodecRuns registers the uniform quantizer and round-trips
+// through the full pipeline with both backends.
+func TestCustomCodecRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,10 +18,16 @@ import (
 )
 
 func main() {
-	rng := rand.New(rand.NewPCG(3, 3))
-	sd, err := models.BuildProfile("alexnet", rng, 0.02)
-	if err != nil {
+	if err := run(0.02); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(scale float64) error {
+	rng := rand.New(rand.NewPCG(3, 3))
+	sd, err := models.BuildProfile("alexnet", rng, scale)
+	if err != nil {
+		return err
 	}
 	// Flatten the weight partition: the data the EBLC perturbs.
 	var weights []float32
@@ -32,7 +38,7 @@ func main() {
 	}
 	comp, err := fedsz.CompressorByName("sz2")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("FedSZ decompression-error analysis (paper Fig. 10 methodology)")
@@ -41,11 +47,11 @@ func main() {
 	for _, eb := range []float64{0.5, 0.1, 0.05, 0.01} {
 		stream, err := comp.Compress(weights, fedsz.RelBound(eb))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		recon, err := comp.Decompress(stream)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		errs := stats.Errors(weights, recon)
 		summ := stats.Summarize(errs)
@@ -79,4 +85,5 @@ func main() {
 	fmt.Println("\nA Laplacian error profile suggests the compressor's noise could")
 	fmt.Println("double as DP noise — the paper's §VII-D observation. Formal ε")
 	fmt.Println("guarantees would need calibrated sensitivity analysis (future work).")
+	return nil
 }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestDPNoiseRuns fits the error distributions on a small profile — the
+// CLI default uses scale 0.02; the smoke test shrinks it further.
+func TestDPNoiseRuns(t *testing.T) {
+	if err := run(0.005); err != nil {
+		t.Fatal(err)
+	}
+}

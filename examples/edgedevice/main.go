@@ -21,20 +21,25 @@ func main() {
 	// A scaled AlexNet profile stands in for the client's trained model
 	// (full-size weights are synthesized at 5% scale; times and sizes are
 	// extrapolated linearly back to paper scale below).
-	const scale = 0.05
+	if err := run(0.05); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scale float64) error {
 	rng := rand.New(rand.NewPCG(7, 7))
 	sd, err := models.BuildProfile("alexnet", rng, scale)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	stream, stats, err := fedsz.Compress(sd, fedsz.Options{LossyParams: fedsz.RelBound(1e-2)})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t0 := time.Now()
 	if _, err := fedsz.Decompress(stream); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tD := time.Since(t0)
 
@@ -67,4 +72,5 @@ func main() {
 	} else {
 		fmt.Println("\ncompression pays off at every tested bandwidth")
 	}
+	return nil
 }

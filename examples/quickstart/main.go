@@ -14,6 +14,12 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	// Build a model update through the public API: one dense weight tensor
 	// (spiky, near-zero mass like real FL weights) plus small metadata.
 	rng := rand.New(rand.NewPCG(42, 1))
@@ -38,7 +44,7 @@ func main() {
 	// Compress with the paper's recommended setting: SZ2 at REL 1e-2.
 	stream, stats, err := fedsz.Compress(sd, fedsz.Options{LossyParams: fedsz.RelBound(1e-2)})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("state dict: %d tensors, %d parameters (%.2f MB)\n",
 		sd.Len(), sd.NumParams(), float64(sd.SizeBytes())/1e6)
@@ -49,12 +55,12 @@ func main() {
 	// Decompress and verify.
 	restored, err := fedsz.Decompress(stream)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Metadata is bit-exact.
 	for i, v := range bias {
 		if restored.Get("conv1.bias").Data[i] != v {
-			log.Fatal("bias corrupted")
+			return fmt.Errorf("bias corrupted at %d", i)
 		}
 	}
 	// Weights are within the relative bound.
@@ -78,4 +84,8 @@ func main() {
 	fmt.Printf("max weight error: %.6f (bound %.6f) — within bound: %v\n",
 		maxErr, bound, maxErr <= bound*(1+1e-6))
 	fmt.Println("metadata: bit-exact")
+	if maxErr > bound*(1+1e-6) {
+		return fmt.Errorf("weight error %g exceeds bound %g", maxErr, bound)
+	}
+	return nil
 }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestQuickstartRuns executes the example end-to-end; run returns an error
+// if the round trip violates the bound or corrupts metadata.
+func TestQuickstartRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

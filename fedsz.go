@@ -18,6 +18,25 @@
 // network simulator) live under internal/ and are exercised through this
 // package, the example programs, and the experiment harness in
 // cmd/fedsz-bench.
+//
+// # Batched server-side decode
+//
+// The paper's Equation 1 makes compression worthwhile only when
+// tC + tD + S'/B < S/B, so server-side decompression time tD is on the
+// critical path: an aggregation server ingests one stream per client per
+// round, and with hundreds of clients the decode dominates. CompressAll
+// and DecompressAll process many client state dicts under one shared
+// parallelism budget — per-tensor decode inside each stream and the
+// across-stream fan-out draw helper slots from the same bounded pool, so
+// batch size never oversubscribes the machine:
+//
+//	streams, _, err := fedsz.CompressAll(updates, fedsz.Options{}, 0)
+//	...
+//	restored, err := fedsz.DecompressAll(streams, 8) // 8-way budget
+//
+// Results are bit-identical to per-call Compress/Decompress. See
+// cmd/fedsz-bench -clients N -parallel P for a one-process simulation of
+// the aggregation-server round loop.
 package fedsz
 
 import (
@@ -82,6 +101,22 @@ func Compress(sd *StateDict, opts Options) ([]byte, *Stats, error) {
 func Decompress(stream []byte) (*StateDict, error) {
 	sd, _, err := core.Decompress(stream)
 	return sd, err
+}
+
+// CompressAll runs the pipeline over many client state dicts with one
+// parallelism budget shared across the whole batch (0 selects GOMAXPROCS).
+// Output i is bit-identical to Compress(sds[i], opts).
+func CompressAll(sds []*StateDict, opts Options, parallelism int) ([][]byte, []*Stats, error) {
+	return core.CompressAll(sds, opts, parallelism)
+}
+
+// DecompressAll reverses CompressAll — the aggregation-server hot path:
+// all streams, and all tensors within them, decode under one shared
+// parallelism budget (0 selects GOMAXPROCS). Output i is bit-identical to
+// Decompress(streams[i]).
+func DecompressAll(streams [][]byte, parallelism int) ([]*StateDict, error) {
+	sds, _, err := core.DecompressAll(streams, parallelism)
+	return sds, err
 }
 
 // Compressor is an error-bounded lossy compressor over flat float32 data.

@@ -1,0 +1,267 @@
+// Package conformance cross-checks the full FedSZ pipeline over every
+// combination of error-bounded lossy compressor, lossless codec, error
+// mode, and edge-case state-dict shape. Where eblctest holds each EBLC to
+// a per-codec contract, this suite holds the *assembled pipeline* to one:
+// streams round-trip, error bounds hold on the lossy partition, the
+// lossless partition is bit-exact, and the batched CompressAll /
+// DecompressAll paths produce bit-identical results to per-call
+// Compress / Decompress.
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/compressors"
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/lossless"
+	"repro/internal/tensor"
+)
+
+// codecTraits captures the per-EBLC contract differences the suite must
+// respect.
+type codecTraits struct {
+	// strictBound: max reconstruction error ≤ ebAbs. ZFP's fixed-precision
+	// mapping has no formal bound (paper §V-D1), so it runs loose.
+	strictBound bool
+	looseFactor float64
+	// preservesNonFinite: NaN/±Inf payload values survive bit-exactly
+	// (sz2/sz3 escape them to literals, szx stores such blocks
+	// losslessly). ZFP clamps non-finite blocks to zero by design.
+	preservesNonFinite bool
+}
+
+var traits = map[string]codecTraits{
+	"sz2": {strictBound: true, preservesNonFinite: true},
+	"sz3": {strictBound: true, preservesNonFinite: true},
+	"szx": {strictBound: true, preservesNonFinite: true},
+	"zfp": {strictBound: false, looseFactor: 8, preservesNonFinite: false},
+}
+
+// dictShape builds one edge-case state dict per named shape.
+func dictShape(t *testing.T, shape string, rng *rand.Rand) *tensor.StateDict {
+	t.Helper()
+	sd := tensor.NewStateDict()
+	switch shape {
+	case "empty":
+	case "scalar0d":
+		// A 0-d tensor has rank 0 and exactly one element.
+		s := tensor.New()
+		s.Data[0] = 42.5
+		sd.Add("step", tensor.KindScalarMeta, s)
+	case "below-threshold":
+		// Every tensor under the 1024-element gate: all-lossless routing.
+		for i, n := range []int{1, 3, 64, 1000} {
+			w := tensor.New(n)
+			for j := range w.Data {
+				w.Data[j] = float32(rng.NormFloat64())
+			}
+			sd.Add("small."+string(rune('a'+i)), tensor.KindWeight, w)
+		}
+	case "multi":
+		// ≥8 lossy tensors plus metadata: exercises the parallel fan-out.
+		for i := 0; i < 8; i++ {
+			w := tensor.FromData(eblctest.WeightLike(rng, 2048+i*64), 2048+i*64)
+			sd.Add("layer"+string(rune('a'+i))+".weight", tensor.KindWeight, w)
+		}
+		b := tensor.New(32)
+		for j := range b.Data {
+			b.Data[j] = float32(0.01 * rng.NormFloat64())
+		}
+		sd.Add("head.bias", tensor.KindBias, b)
+	case "all-below-bound":
+		// A lossy tensor whose values all sit below the absolute bound —
+		// quantizes to a (near-)constant stream.
+		w := tensor.New(4096)
+		for j := range w.Data {
+			w.Data[j] = float32(1e-7 * rng.NormFloat64())
+		}
+		sd.Add("tiny.weight", tensor.KindWeight, w)
+	case "nonfinite":
+		w := tensor.FromData(eblctest.WeightLike(rng, 4096), 4096)
+		w.Data[17] = float32(math.NaN())
+		w.Data[1025] = float32(math.Inf(1))
+		w.Data[3000] = float32(math.Inf(-1))
+		sd.Add("poisoned.weight", tensor.KindWeight, w)
+	default:
+		t.Fatalf("unknown shape %q", shape)
+	}
+	return sd
+}
+
+func isFinite32(v float32) bool {
+	f := float64(v)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// checkRoundTrip asserts the pipeline contract for one decoded dict.
+func checkRoundTrip(t *testing.T, orig, got *tensor.StateDict, opts core.Options, tr codecTraits) {
+	t.Helper()
+	if got.Len() != orig.Len() {
+		t.Fatalf("entries %d != %d", got.Len(), orig.Len())
+	}
+	for i, e := range orig.Entries() {
+		g := got.Entries()[i]
+		if g.Name != e.Name || g.Kind != e.Kind {
+			t.Fatalf("entry %d: %s/%v != %s/%v", i, g.Name, g.Kind, e.Name, e.Kind)
+		}
+		if len(g.Tensor.Data) != len(e.Tensor.Data) {
+			t.Fatalf("entry %q: %d elements, want %d", e.Name, len(g.Tensor.Data), len(e.Tensor.Data))
+		}
+		lossy := e.Kind == tensor.KindWeight && e.Tensor.NumElems() > core.DefaultThreshold
+		if !lossy {
+			// Lossless partition must survive bit-exactly.
+			for j := range e.Tensor.Data {
+				if math.Float32bits(e.Tensor.Data[j]) != math.Float32bits(g.Tensor.Data[j]) {
+					t.Fatalf("lossless entry %q not bit-exact at %d", e.Name, j)
+				}
+			}
+			continue
+		}
+		// Lossy partition: resolve the absolute bound the params promise.
+		var ebAbs float64
+		switch opts.LossyParams.Mode {
+		case ebcl.ModeRelative:
+			ebAbs = opts.LossyParams.Value * ebcl.ValueRange(e.Tensor.Data)
+		case ebcl.ModeAbsolute:
+			ebAbs = opts.LossyParams.Value
+		}
+		limit := ebAbs
+		if !tr.strictBound {
+			limit = ebAbs * tr.looseFactor
+		}
+		for j := range e.Tensor.Data {
+			a, b := e.Tensor.Data[j], g.Tensor.Data[j]
+			if !isFinite32(a) {
+				if tr.preservesNonFinite && math.Float32bits(a) != math.Float32bits(b) {
+					t.Fatalf("entry %q: non-finite value at %d not preserved: % x -> % x",
+						e.Name, j, math.Float32bits(a), math.Float32bits(b))
+				}
+				continue
+			}
+			if !tr.preservesNonFinite && !isFinite32(b) {
+				t.Fatalf("entry %q: finite %g decoded non-finite %g at %d", e.Name, a, b, j)
+			}
+			if tr.strictBound || allFiniteNear(e.Tensor.Data, j) {
+				if d := math.Abs(float64(a) - float64(b)); d > limit*(1+1e-6)+1e-12 {
+					t.Fatalf("entry %q: error %g exceeds %g at %d", e.Name, d, limit, j)
+				}
+			}
+		}
+	}
+}
+
+// allFiniteNear reports whether the 4-aligned block around index j is free
+// of non-finite values — ZFP clamps whole blocks containing NaN/Inf, so
+// finite neighbours of a poisoned value carry no bound there.
+func allFiniteNear(data []float32, j int) bool {
+	lo := j &^ 3
+	hi := lo + 4
+	if hi > len(data) {
+		hi = len(data)
+	}
+	for _, v := range data[lo:hi] {
+		if !isFinite32(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCrossCodecPipelineConformance(t *testing.T) {
+	shapes := []string{"empty", "scalar0d", "below-threshold", "multi", "all-below-bound", "nonfinite"}
+	params := []struct {
+		name string
+		p    ebcl.Params
+	}{
+		{"REL1e-2", ebcl.Rel(1e-2)},
+		{"ABS1e-3", ebcl.Abs(1e-3)},
+	}
+	for _, lossyName := range compressors.Names() {
+		tr, ok := traits[lossyName]
+		if !ok {
+			t.Fatalf("no traits for compressor %q — add it to the conformance table", lossyName)
+		}
+		for _, losslessName := range lossless.Names() {
+			for _, pp := range params {
+				for _, shape := range shapes {
+					name := lossyName + "/" + losslessName + "/" + pp.name + "/" + shape
+					t.Run(name, func(t *testing.T) {
+						lossy, err := compressors.Get(lossyName)
+						if err != nil {
+							t.Fatal(err)
+						}
+						codec, err := lossless.Get(losslessName)
+						if err != nil {
+							t.Fatal(err)
+						}
+						opts := core.Options{Lossy: lossy, LossyParams: pp.p, Lossless: codec}
+						rng := rand.New(rand.NewPCG(99, uint64(len(name))))
+						sd := dictShape(t, shape, rng)
+
+						stream, _, err := core.Compress(sd, opts)
+						if shape == "nonfinite" && pp.p.Mode == ebcl.ModeRelative && tr.strictBound {
+							// A range-relative bound is undefined over NaN/Inf
+							// data: the strict codecs must reject it cleanly
+							// instead of emitting an undecodable stream.
+							if err == nil {
+								t.Fatal("REL bound over non-finite data compressed without error")
+							}
+							return
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, _, err := core.Decompress(stream)
+						if err != nil {
+							t.Fatal(err)
+						}
+						checkRoundTrip(t, sd, got, opts, tr)
+
+						// Batched paths must be bit-identical to per-call.
+						batchStreams, _, err := core.CompressAll([]*tensor.StateDict{sd, sd, sd}, opts, 2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, bs := range batchStreams {
+							if !bytes.Equal(bs, stream) {
+								t.Fatalf("batch stream %d differs from sequential", i)
+							}
+						}
+						batchDicts, _, err := core.DecompressAll(batchStreams, 2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := got.Marshal()
+						for i, bd := range batchDicts {
+							if !bytes.Equal(bd.Marshal(), want) {
+								t.Fatalf("batch decode %d differs from sequential", i)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptBatchKeepsErrCorrupt: the batch API must surface the same
+// sentinel as the per-call path.
+func TestCorruptBatchKeepsErrCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	sd := dictShape(t, "multi", rng)
+	stream, _, err := core.Compress(sd, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), stream...)
+	bad[0] ^= 0xFF
+	if _, _, err := core.DecompressAll([][]byte{stream, bad}, 2); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("batch error %v does not wrap ErrCorrupt", err)
+	}
+}

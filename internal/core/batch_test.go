@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// wideDict builds a state dict with nTensors lossy-path weight tensors of
+// elems elements each (plus metadata), so the per-tensor fan-out has real
+// work on every index.
+func wideDict(rng *rand.Rand, nTensors, elems int) *tensor.StateDict {
+	sd := tensor.NewStateDict()
+	for l := 0; l < nTensors; l++ {
+		w := tensor.New(elems)
+		for i := range w.Data {
+			w.Data[i] = float32(0.03 * (rng.ExpFloat64() - rng.ExpFloat64()))
+		}
+		sd.Add(name("layer", l, "weight"), tensor.KindWeight, w)
+		b := tensor.New(16)
+		for i := range b.Data {
+			b.Data[i] = float32(0.01 * rng.NormFloat64())
+		}
+		sd.Add(name("layer", l, "bias"), tensor.KindBias, b)
+	}
+	return sd
+}
+
+func name(prefix string, i int, suffix string) string {
+	return prefix + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + "." + suffix
+}
+
+// TestParallelDecodeMatchesSerial: the shared-pool decode must be
+// bit-identical to a serial decode of the same stream.
+func TestParallelDecodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	sd := wideDict(rng, 12, 4096)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := DecompressWith(sched.Serial(), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := DecompressWith(sched.NewPool(8), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Marshal(), parallel.Marshal()) {
+		t.Fatal("parallel decode differs from serial decode")
+	}
+}
+
+// TestCompressAllBitIdenticalToSequential: batch output i must equal a
+// standalone Compress of input i, byte for byte.
+func TestCompressAllBitIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	sds := make([]*tensor.StateDict, 8)
+	for i := range sds {
+		sds[i] = wideDict(rng, 4, 2048)
+	}
+	batch, stats, err := CompressAll(sds, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sds) || len(stats) != len(sds) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(batch), len(stats), len(sds))
+	}
+	for i, sd := range sds {
+		single, sstats, err := Compress(sd, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch[i], single) {
+			t.Fatalf("client %d: batch stream differs from sequential", i)
+		}
+		if stats[i].CompressedBytes != sstats.CompressedBytes {
+			t.Fatalf("client %d: stats mismatch", i)
+		}
+	}
+}
+
+// TestDecompressAllBitIdenticalToSequential runs the acceptance scenario:
+// ≥32 synthetic client streams, batch decode bit-identical to per-call
+// Decompress (run under -race in CI).
+func TestDecompressAllBitIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	const nClients = 32
+	sds := make([]*tensor.StateDict, nClients)
+	for i := range sds {
+		sds[i] = wideDict(rng, 3, 1536)
+	}
+	streams, _, err := CompressAll(sds, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, bstats, err := DecompressAll(streams, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != nClients || len(bstats) != nClients {
+		t.Fatalf("batch decoded %d, want %d", len(batch), nClients)
+	}
+	for i, s := range streams {
+		single, _, err := Decompress(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch[i].Marshal(), single.Marshal()) {
+			t.Fatalf("client %d: batch decode differs from per-call decode", i)
+		}
+	}
+}
+
+// TestDecompressAllPropagatesCorruption: one bad stream fails the batch
+// with a client-indexed ErrCorrupt, without panicking the pool workers.
+func TestDecompressAllPropagatesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	sds := make([]*tensor.StateDict, 4)
+	for i := range sds {
+		sds[i] = wideDict(rng, 2, 1500)
+	}
+	streams, _, err := CompressAll(sds, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams[2] = streams[2][:len(streams[2])/2]
+	if _, _, err := DecompressAll(streams, 2); err == nil {
+		t.Fatal("truncated stream in batch decoded without error")
+	}
+}
+
+// TestEmptyBatch: zero streams is a valid (empty) batch.
+func TestEmptyBatch(t *testing.T) {
+	streams, stats, err := CompressAll(nil, Options{}, 4)
+	if err != nil || len(streams) != 0 || len(stats) != 0 {
+		t.Fatalf("empty compress batch: %v", err)
+	}
+	sds, dstats, err := DecompressAll(nil, 4)
+	if err != nil || len(sds) != 0 || len(dstats) != 0 {
+		t.Fatalf("empty decompress batch: %v", err)
+	}
+}
+
+func benchStream(b *testing.B, nTensors, elems int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(31, 32))
+	sd := wideDict(rng, nTensors, elems)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stream
+}
+
+// BenchmarkDecompressSerial decodes a 12-tensor model on one goroutine —
+// the seed path.
+func BenchmarkDecompressSerial(b *testing.B) {
+	stream := benchStream(b, 12, 32768)
+	pool := sched.Serial()
+	b.SetBytes(int64(12 * 32768 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressWith(pool, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressParallel decodes the same model on the shared pool;
+// on a multicore machine this should beat BenchmarkDecompressSerial
+// roughly linearly until the tensor count is exhausted.
+func BenchmarkDecompressParallel(b *testing.B) {
+	stream := benchStream(b, 12, 32768)
+	pool := sched.NewPool(0)
+	b.SetBytes(int64(12 * 32768 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressWith(pool, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressAll32 decodes a 32-client round under one budget —
+// the aggregation-server hot path.
+func BenchmarkDecompressAll32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	const nClients = 32
+	sds := make([]*tensor.StateDict, nClients)
+	raw := 0
+	for i := range sds {
+		sds[i] = wideDict(rng, 4, 8192)
+		raw += sds[i].SizeBytes()
+	}
+	streams, _, err := CompressAll(sds, Options{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(raw))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressAll(streams, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressAll32 is the client-side mirror of the batch bench.
+func BenchmarkCompressAll32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	const nClients = 32
+	sds := make([]*tensor.StateDict, nClients)
+	raw := 0
+	for i := range sds {
+		sds[i] = wideDict(rng, 4, 8192)
+		raw += sds[i].SizeBytes()
+	}
+	b.SetBytes(int64(raw))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CompressAll(sds, Options{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,13 +17,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/compressors"
 	"repro/internal/ebcl"
 	"repro/internal/lossless"
+	"repro/internal/sched"
 	"repro/internal/sz2"
 	"repro/internal/tensor"
 )
@@ -120,8 +119,16 @@ func takesLossyPath(e tensor.Entry, o Options) bool {
 	return e.Kind == tensor.KindWeight && e.Tensor.NumElems() > o.Threshold
 }
 
-// Compress runs the FedSZ pipeline over a state dict.
+// Compress runs the FedSZ pipeline over a state dict on the process-wide
+// shared worker pool.
 func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
+	return CompressWith(sched.Default(), sd, opts)
+}
+
+// CompressWith runs the FedSZ pipeline drawing per-tensor parallelism from
+// the given pool (nil runs serially). Batch callers pass one pool so the
+// whole batch shares a single parallelism budget.
+func CompressWith(pool *sched.Pool, sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
 	o := opts.withDefaults()
 	start := time.Now()
 	stats := &Stats{RawBytes: sd.SizeBytes()}
@@ -160,23 +167,14 @@ func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
 	}
 	out = append(out, flags...)
 
-	// Compress the lossy tensors concurrently (one goroutine per tensor,
-	// bounded by GOMAXPROCS); output order stays the state-dict order
-	// because blobs are written back by index.
+	// Compress the lossy tensors concurrently on the shared pool; output
+	// order stays the state-dict order because blobs are written back by
+	// index.
 	lossyBlobs := make([][]byte, len(lossyMetas))
 	errs := make([]error, len(lossyMetas))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range lossyMetas {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lossyBlobs[i], errs[i] = o.Lossy.Compress(lossyMetas[i].data, o.LossyParams)
-		}(i)
-	}
-	wg.Wait()
+	pool.ForEach(len(lossyMetas), func(i int) {
+		lossyBlobs[i], errs[i] = o.Lossy.Compress(lossyMetas[i].data, o.LossyParams)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
@@ -184,7 +182,8 @@ func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
 		stats.LossyCompressed += len(lossyBlobs[i])
 	}
 
-	// Lossy partition: per-tensor metadata + blob.
+	// Lossy partition: per-tensor metadata + blob. Blobs are copied into
+	// the stream, so their backing buffers go back to the shared pool.
 	for i, m := range lossyMetas {
 		out = appendString(out, m.name)
 		out = append(out, byte(m.kind), byte(len(m.shape)))
@@ -192,15 +191,20 @@ func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
 			out = binary.LittleEndian.AppendUint32(out, uint32(d))
 		}
 		out = ebcl.AppendSection(out, lossyBlobs[i])
+		sched.PutBytes(lossyBlobs[i])
+		lossyBlobs[i] = nil
 	}
 
 	// Lossless partition: serialize (the paper pickles) then compress once.
-	restBlob, err := o.Lossless.Compress(rest.Marshal())
+	restRaw := rest.Marshal()
+	restBlob, err := o.Lossless.Compress(restRaw)
+	sched.PutBytes(restRaw)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: lossless compress: %w", err)
 	}
 	stats.LosslessCompressed = len(restBlob)
 	out = ebcl.AppendSection(out, restBlob)
+	sched.PutBytes(restBlob)
 
 	stats.CompressedBytes = len(out)
 	stats.CompressTime = time.Since(start)
@@ -212,9 +216,19 @@ type DecompressStats struct {
 	DecompressTime time.Duration
 }
 
-// Decompress reverses Compress. The stream is self-describing: the lossy
-// compressor and lossless codec are selected by the names it carries.
+// Decompress reverses Compress on the process-wide shared worker pool. The
+// stream is self-describing: the lossy compressor and lossless codec are
+// selected by the names it carries.
 func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
+	return DecompressWith(sched.Default(), stream)
+}
+
+// DecompressWith reverses Compress, decoding the per-tensor lossy blobs
+// concurrently on the given pool (nil runs serially) — the mirror of the
+// compress-side fan-out. The section layout is parsed serially first (it
+// is cheap and inherently sequential), then every lossy tensor and the
+// lossless partition decode in parallel.
+func DecompressWith(pool *sched.Pool, stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 	start := time.Now()
 	pos := 0
 	if len(stream) < 5 || binary.LittleEndian.Uint32(stream) != streamMagic {
@@ -262,10 +276,15 @@ func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 		}
 	}
 
+	// Phase 1 — serial parse: walk the section layout, recording names,
+	// shapes, and blob views into the stream. No decoding happens here, so
+	// the walk is cheap even for large models.
 	type lossyEntry struct {
 		name  string
 		kind  tensor.Kind
 		shape []int
+		elems int
+		blob  []byte
 		data  []float32
 	}
 	lossyEntries := make([]lossyEntry, 0, nLossy)
@@ -285,38 +304,59 @@ func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 			return nil, nil, ErrCorrupt
 		}
 		e.shape = make([]int, rank)
-		n := 1
+		e.elems = 1
 		for d := range e.shape {
 			e.shape[d] = int(binary.LittleEndian.Uint32(stream[pos:]))
-			n *= e.shape[d]
+			e.elems *= e.shape[d]
 			pos += 4
 		}
-		var blob []byte
-		blob, pos, err = ebcl.ReadSection(stream, pos)
+		e.blob, pos, err = ebcl.ReadSection(stream, pos)
 		if err != nil {
-			return nil, nil, err
-		}
-		e.data, err = lossy.Decompress(blob)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: lossy decompress %q: %w", e.name, err)
-		}
-		if len(e.data) != n {
-			return nil, nil, fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(e.data), n)
+			return nil, nil, fmt.Errorf("%w: lossy section %q: %w", ErrCorrupt, e.name, err)
 		}
 		lossyEntries = append(lossyEntries, e)
 	}
 
 	restBlob, _, err := ebcl.ReadSection(stream, pos)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: metadata section: %w", ErrCorrupt, err)
 	}
-	restRaw, err := codec.Decompress(restBlob)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: lossless decompress: %w", err)
-	}
-	rest, err := tensor.UnmarshalStateDict(restRaw)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: metadata decode: %w", err)
+
+	// Phase 2 — parallel decode: every lossy tensor plus the lossless
+	// partition (the extra index) decodes concurrently on the shared pool,
+	// mirroring the compress-side fan-out.
+	var rest *tensor.StateDict
+	decodeErrs := make([]error, nLossy+1)
+	pool.ForEach(nLossy+1, func(i int) {
+		if i == nLossy {
+			restRaw, derr := codec.Decompress(restBlob)
+			if derr != nil {
+				decodeErrs[i] = fmt.Errorf("%w: lossless decompress: %w", ErrCorrupt, derr)
+				return
+			}
+			rest, derr = tensor.UnmarshalStateDict(restRaw)
+			sched.PutBytes(restRaw)
+			if derr != nil {
+				decodeErrs[i] = fmt.Errorf("%w: metadata decode: %w", ErrCorrupt, derr)
+			}
+			return
+		}
+		e := &lossyEntries[i]
+		data, derr := lossy.Decompress(e.blob)
+		if derr != nil {
+			decodeErrs[i] = fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, e.name, derr)
+			return
+		}
+		if len(data) != e.elems {
+			decodeErrs[i] = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
+			return
+		}
+		e.data = data
+	})
+	for _, derr := range decodeErrs {
+		if derr != nil {
+			return nil, nil, derr
+		}
 	}
 
 	// Re-interleave to the original order.
@@ -341,6 +381,49 @@ func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 		}
 	}
 	return out, &DecompressStats{DecompressTime: time.Since(start)}, nil
+}
+
+// CompressAll runs the FedSZ pipeline over many client state dicts with
+// one parallelism budget shared across the whole batch (zero or negative
+// selects GOMAXPROCS). Unlike calling Compress in N goroutines — which
+// would oversubscribe the machine N × GOMAXPROCS — the batch and the
+// per-tensor fan-out inside each call draw from the same pool. Output i
+// corresponds to input i and is bit-identical to Compress(sds[i], opts).
+func CompressAll(sds []*tensor.StateDict, opts Options, parallelism int) ([][]byte, []*Stats, error) {
+	pool := sched.NewPool(parallelism)
+	streams := make([][]byte, len(sds))
+	stats := make([]*Stats, len(sds))
+	errs := make([]error, len(sds))
+	pool.ForEach(len(sds), func(i int) {
+		streams[i], stats[i], errs[i] = CompressWith(pool, sds[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: batch compress client %d: %w", i, err)
+		}
+	}
+	return streams, stats, nil
+}
+
+// DecompressAll reverses CompressAll: the aggregation-server hot path of
+// the paper's Eqn-1 scenario, where one process ingests N concurrent
+// client streams per round. All streams and all tensors within them decode
+// under one shared parallelism budget (zero or negative selects
+// GOMAXPROCS). Output i is bit-identical to Decompress(streams[i]).
+func DecompressAll(streams [][]byte, parallelism int) ([]*tensor.StateDict, []*DecompressStats, error) {
+	pool := sched.NewPool(parallelism)
+	sds := make([]*tensor.StateDict, len(streams))
+	stats := make([]*DecompressStats, len(streams))
+	errs := make([]error, len(streams))
+	pool.ForEach(len(streams), func(i int) {
+		sds[i], stats[i], errs[i] = DecompressWith(pool, streams[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: batch decompress client %d: %w", i, err)
+		}
+	}
+	return sds, stats, nil
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/compressors"
 	"repro/internal/ebcl"
 	"repro/internal/eblctest"
+	"repro/internal/sched"
 )
 
 // TestDecompressRandomCorruption flips random bytes in valid FedSZ streams
@@ -60,6 +63,119 @@ func TestDecompressTruncationSweep(t *testing.T) {
 			t.Fatalf("truncation at %d of %d decoded without error", l, len(stream))
 		}
 	}
+}
+
+// corpusEntry is one seeded corrupt stream. mustErr entries are
+// corruptions that cannot possibly decode (truncations, mangled headers);
+// the rest are random flips that may land in don't-care bytes, where the
+// contract is only "no panic, no hang, no garbage dict".
+type corpusEntry struct {
+	name    string
+	data    []byte
+	mustErr bool
+}
+
+// corruptCorpus deterministically seeds a corpus of corrupt FedSZ streams
+// from a valid one: every-k truncations, targeted header/flag/section
+// damage, and random single- and multi-byte flips.
+func corruptCorpus(tb testing.TB) []corpusEntry {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(101, 102))
+	sd := modelDict(rng)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var corpus []corpusEntry
+	add := func(name string, data []byte, mustErr bool) {
+		corpus = append(corpus, corpusEntry{name, data, mustErr})
+	}
+	// Truncations at every ~2% of the stream, plus the boundary cases.
+	step := len(stream)/50 + 1
+	for l := 0; l < len(stream); l += step {
+		add(fmt.Sprintf("trunc@%d", l), append([]byte(nil), stream[:l]...), true)
+	}
+	add("trunc@-1", append([]byte(nil), stream[:len(stream)-1]...), true)
+	// Targeted header damage.
+	flip := func(name string, off int, xor byte) {
+		bad := append([]byte(nil), stream...)
+		bad[off] ^= xor
+		add(name, bad, true)
+	}
+	flip("magic", 0, 0xFF)
+	flip("version", 4, 0x55)
+	// Unknown compressor name: corrupt the first name byte past its length
+	// prefix (pos 5 is the length, 6 the first character).
+	flip("lossy-name", 6, 0x1F)
+	// Entry count tampering (count lives after the two names).
+	nameEnd := 5 + 1 + int(stream[5])
+	nameEnd += 1 + int(stream[nameEnd])
+	flip("entry-count", nameEnd, 0xFF)
+	// Path flag outside {0,1}.
+	flip("path-flag", nameEnd+4, 0x80)
+	// Random flips: not guaranteed to error, but must never panic.
+	for trial := 0; trial < 64; trial++ {
+		bad := append([]byte(nil), stream...)
+		flips := rng.IntN(4) + 1
+		for f := 0; f < flips; f++ {
+			bad[rng.IntN(len(bad))] ^= byte(rng.IntN(255) + 1)
+		}
+		add(fmt.Sprintf("flip%d", trial), bad, false)
+	}
+	return corpus
+}
+
+// TestDecompressCorruptCorpus asserts every must-error corpus entry fails
+// with ErrCorrupt (never a panic) — under the serial decoder and under the
+// new parallel decode at two budgets.
+func TestDecompressCorruptCorpus(t *testing.T) {
+	corpus := corruptCorpus(t)
+	decoders := []struct {
+		name string
+		run  func([]byte) error
+	}{
+		{"serial", func(b []byte) error { _, _, err := DecompressWith(sched.Serial(), b); return err }},
+		{"pool4", func(b []byte) error { _, _, err := DecompressWith(sched.NewPool(4), b); return err }},
+		{"default", func(b []byte) error { _, _, err := Decompress(b); return err }},
+	}
+	for _, dec := range decoders {
+		for _, e := range corpus {
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s/%s: decompress panicked: %v", dec.name, e.name, r)
+					}
+				}()
+				return dec.run(e.data)
+			}()
+			if e.mustErr {
+				if err == nil {
+					t.Errorf("%s/%s: corrupt stream decoded without error", dec.name, e.name)
+				} else if !errors.Is(err, ErrCorrupt) {
+					t.Errorf("%s/%s: error %v does not wrap ErrCorrupt", dec.name, e.name, err)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecompress drives the decoder with the corrupt corpus as seeds. The
+// invariants fuzzing protects: no panic, no hang, and a nil error implies
+// a structurally valid state dict.
+func FuzzDecompress(f *testing.F) {
+	for _, e := range corruptCorpus(f) {
+		f.Add(e.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sd, _, err := Decompress(data)
+		if err == nil {
+			if sd == nil {
+				t.Fatal("nil dict with nil error")
+			}
+			// A decodable dict must re-marshal without panicking.
+			_ = sd.Marshal()
+		}
+	})
 }
 
 // TestEBLCStreamCorruption runs the same random-flip discipline directly

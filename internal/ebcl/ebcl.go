@@ -64,6 +64,12 @@ var ErrCorrupt = errors.New("ebcl: corrupt compressed stream")
 
 // Compressor is an error-bounded lossy compressor over 1-D float32 arrays
 // (FL model updates are flattened before compression, paper Algorithm 1).
+//
+// Implementations must be safe for concurrent use: the core pipeline
+// decodes many tensors on one Compressor value in parallel. Returned
+// buffers must be freshly allocated (not aliases of retained state or of
+// the input) — ownership transfers to the caller, which may recycle them
+// through the sched buffer pools.
 type Compressor interface {
 	// Name returns the compressor's registry name ("sz2", "sz3", ...).
 	Name() string
@@ -98,7 +104,13 @@ func ResolveAbs(data []float32, p Params) (float64, error) {
 		if p.Value <= 0 {
 			return 0, fmt.Errorf("ebcl: relative bound must be positive, got %g", p.Value)
 		}
-		return p.Value * ValueRange(data), nil
+		r := ValueRange(data)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			// NaN/Inf in the data makes the value range — and therefore a
+			// range-relative bound — undefined; the caller must use ABS.
+			return 0, fmt.Errorf("ebcl: relative bound undefined for non-finite data (range %g); use an absolute bound", r)
+		}
+		return p.Value * r, nil
 	case ModeAbsolute:
 		if p.Value <= 0 {
 			return 0, fmt.Errorf("ebcl: absolute bound must be positive, got %g", p.Value)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/lossless"
+	"repro/internal/sched"
 )
 
 // Shared stream framing for the SZ-family compressors: length-prefixed
@@ -73,12 +74,18 @@ var zcodec = lossless.NewZstdLike()
 
 // AppendLosslessStage appends payload to out, passing it through the
 // zstd-like codec first when that wins (and unless disabled). A mode byte
-// records which representation was kept.
+// records which representation was kept. The intermediate compressed
+// buffer is copied into out, so it is recycled via the shared sched pool.
 func AppendLosslessStage(out, payload []byte, disable bool) []byte {
 	if !disable {
-		if z, err := zcodec.Compress(payload); err == nil && len(z) < len(payload) {
-			out = append(out, 1)
-			return append(out, z...)
+		if z, err := zcodec.Compress(payload); err == nil {
+			if len(z) < len(payload) {
+				out = append(out, 1)
+				out = append(out, z...)
+				sched.PutBytes(z)
+				return out
+			}
+			sched.PutBytes(z)
 		}
 	}
 	out = append(out, 0)

@@ -7,6 +7,7 @@ package fl
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"time"
 
@@ -26,6 +27,18 @@ type Transport interface {
 	Encode(sd *tensor.StateDict) (payload []byte, rawBytes int, err error)
 	// Decode reverses Encode.
 	Decode(payload []byte) (*tensor.StateDict, error)
+}
+
+// BatchTransport is an optional Transport extension: a server-side decoder
+// that ingests a whole round of client payloads under one parallelism
+// budget. RunRound uses it when available instead of per-payload Decode.
+type BatchTransport interface {
+	Transport
+	// DecodeAll decodes payload i into result i; results must be
+	// identical to calling Decode on each payload. The returned durations
+	// report each payload's own decode time (summed, they reproduce the
+	// serial per-client cost the paper's Figure 6 accounts).
+	DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error)
 }
 
 // RawTransport transmits the uncompressed serialized state dict.
@@ -48,6 +61,9 @@ func (RawTransport) Decode(p []byte) (*tensor.StateDict, error) {
 // FedSZTransport compresses updates with the FedSZ pipeline.
 type FedSZTransport struct {
 	Opts core.Options
+	// Parallel is the server-side decode budget shared across a round's
+	// batch (0 selects GOMAXPROCS).
+	Parallel int
 	// LastStats holds the most recent Encode's pipeline statistics.
 	mu        sync.Mutex
 	LastStats *core.Stats
@@ -77,6 +93,20 @@ func (t *FedSZTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
 func (t *FedSZTransport) Decode(p []byte) (*tensor.StateDict, error) {
 	sd, _, err := core.Decompress(p)
 	return sd, err
+}
+
+// DecodeAll implements BatchTransport: the whole round's payloads decode
+// under one shared parallelism budget.
+func (t *FedSZTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
+	sds, stats, err := core.DecompressAll(payloads, t.Parallel)
+	if err != nil {
+		return nil, nil, err
+	}
+	durs := make([]time.Duration, len(stats))
+	for i, s := range stats {
+		durs[i] = s.DecompressTime
+	}
+	return sds, durs, nil
 }
 
 // Client is one FedAvg participant: a local model, a data shard, and an
@@ -140,10 +170,17 @@ func batchByIndex(d *dataset.Dataset, idx []int) (*tensor.Tensor, []int) {
 // RoundTimings breaks a communication round into the phases of paper
 // Figure 6.
 type RoundTimings struct {
-	Train      time.Duration // max over clients (they run in parallel)
-	Compress   time.Duration // sum of client Encode times
-	Decompress time.Duration // sum of server Decode times
-	Validate   time.Duration
+	Train    time.Duration // max over clients (they run in parallel)
+	Compress time.Duration // sum of client Encode times
+	// Decompress sums each client payload's own decode time — the
+	// per-client accounting of paper Figure 6, regardless of how the
+	// server parallelizes the batch.
+	Decompress time.Duration
+	// DecompressWall is the wall-clock of the server-side decode +
+	// aggregate phase; with a BatchTransport on a multicore server it is
+	// smaller than Decompress.
+	DecompressWall time.Duration
+	Validate       time.Duration
 }
 
 // RoundResult reports one FedAvg communication round.
@@ -206,14 +243,13 @@ func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
 	}
 	wg.Wait()
 
-	// FedAvg aggregation in deterministic client order.
-	acc := globalState.Zero()
-	weight := 1 / float32(len(f.Clients))
+	payloads := make([][]byte, len(outs))
 	for i := range outs {
 		o := &outs[i]
 		if o.err != nil {
 			return nil, fmt.Errorf("fl: client %d: %w", i, o.err)
 		}
+		payloads[i] = o.payload
 		res.Loss += o.loss / float64(len(f.Clients))
 		res.RawBytes += o.raw
 		res.WireBytes += len(o.payload)
@@ -221,21 +257,54 @@ func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
 			res.Timings.Train = o.trainDur
 		}
 		res.Timings.Compress += o.encDur
-		t0 := time.Now()
-		sd, err := f.Transport.Decode(o.payload)
-		res.Timings.Decompress += time.Since(t0)
-		if err != nil {
-			return nil, fmt.Errorf("fl: decode client %d: %w", i, err)
+	}
+
+	// Server-side decode + FedAvg aggregation in deterministic client
+	// order. A BatchTransport decodes chunk-wise under one shared
+	// parallelism budget; each chunk is folded into the accumulator and
+	// released before the next decodes, so peak memory stays
+	// O(chunk × model) rather than O(clients × model).
+	acc := globalState.Zero()
+	weight := 1 / float32(len(f.Clients))
+	t0 := time.Now()
+	if bt, ok := f.Transport.(BatchTransport); ok {
+		chunk := 2 * runtime.GOMAXPROCS(0)
+		for lo := 0; lo < len(payloads); lo += chunk {
+			hi := min(lo+chunk, len(payloads))
+			sds, durs, err := bt.DecodeAll(payloads[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("fl: batch decode clients %d-%d: %w", lo, hi-1, err)
+			}
+			for _, d := range durs {
+				res.Timings.Decompress += d
+			}
+			for i, sd := range sds {
+				if err := acc.AddScaled(sd, weight); err != nil {
+					return nil, fmt.Errorf("fl: aggregate client %d: %w", lo+i, err)
+				}
+				payloads[lo+i] = nil
+			}
 		}
-		if err := acc.AddScaled(sd, weight); err != nil {
-			return nil, fmt.Errorf("fl: aggregate client %d: %w", i, err)
+	} else {
+		for i, p := range payloads {
+			t1 := time.Now()
+			sd, err := f.Transport.Decode(p)
+			res.Timings.Decompress += time.Since(t1)
+			if err != nil {
+				return nil, fmt.Errorf("fl: decode client %d: %w", i, err)
+			}
+			if err := acc.AddScaled(sd, weight); err != nil {
+				return nil, fmt.Errorf("fl: aggregate client %d: %w", i, err)
+			}
+			payloads[i] = nil
 		}
 	}
+	res.Timings.DecompressWall = time.Since(t0)
 	if err := f.Global.LoadStateDict(acc); err != nil {
 		return nil, err
 	}
 
-	t0 := time.Now()
+	t0 = time.Now()
 	res.Accuracy = f.Evaluate()
 	res.Timings.Validate = time.Since(t0)
 	return res, nil

@@ -61,6 +61,9 @@ func TestRawTransportRoundTrip(t *testing.T) {
 }
 
 func TestFedAvgImprovesAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round convergence test; TestRoundPipelineSmoke covers the short suite")
+	}
 	fed := buildFederation(t, RawTransport{}, 42)
 	initial := fed.Evaluate()
 	results, err := fed.Run(4, 1)
@@ -86,6 +89,9 @@ func TestFedAvgImprovesAccuracy(t *testing.T) {
 }
 
 func TestFedSZTransportShrinksUpdatesAndPreservesLearning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round convergence test; TestRoundPipelineSmoke covers the short suite")
+	}
 	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
 	fed := buildFederation(t, tr, 42)
 	results, err := fed.Run(8, 1)
@@ -110,6 +116,9 @@ func TestFedSZTransportShrinksUpdatesAndPreservesLearning(t *testing.T) {
 }
 
 func TestCompressedMatchesUncompressedWithinHalfPercentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full federations at 12 rounds each; skipped in short mode")
+	}
 	// The paper's headline claim at REL 1e-2: compressed accuracy within
 	// ~0.5% of uncompressed after 50 rounds. At this micro scale (12 px,
 	// 12 rounds) training noise is larger than 0.5%, so assert a loose
@@ -132,6 +141,109 @@ func TestCompressedMatchesUncompressedWithinHalfPercentShape(t *testing.T) {
 		t.Errorf("compression cost %.3f accuracy (raw %.3f, fedsz %.3f)", rawAcc-szAcc, rawAcc, szAcc)
 	}
 	t.Logf("raw=%.3f fedsz=%.3f", rawAcc, szAcc)
+}
+
+// smokeFederation is a deliberately tiny build (2 clients, 10 px images,
+// 48 samples) so the short suite still executes the full round pipeline:
+// broadcast → train → encode → batched server decode → aggregate → eval.
+func smokeFederation(t *testing.T, transport Transport, seed uint64) *Federation {
+	t.Helper()
+	cfg, err := dataset.ScaledConfig("cifar10", 10, 48, 16, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := dataset.Generate(cfg)
+	shards := dataset.ShardIID(train, 2, seed)
+	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	rng := rand.New(rand.NewPCG(seed, 1))
+	global, err := models.BuildMini("alexnet", rng, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, 2)
+	for i := range clients {
+		crng := rand.New(rand.NewPCG(seed, uint64(i)+10))
+		net, err := models.BuildMini("alexnet", crng, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewClient(i, net, shards[i], 16, 0.02, seed)
+	}
+	return NewFederation(global, clients, transport, test)
+}
+
+// TestRoundPipelineSmoke is the 2-round fast variant that always runs: it
+// exercises every phase of the round for both transports and checks the
+// accounting invariants, without waiting for convergence.
+func TestRoundPipelineSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		transport Transport
+	}{
+		{"raw", RawTransport{}},
+		{"fedsz", NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fed := smokeFederation(t, tc.transport, 42)
+			results, err := fed.Run(2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 2 {
+				t.Fatalf("got %d rounds", len(results))
+			}
+			for _, r := range results {
+				if r.RawBytes <= 0 || r.WireBytes <= 0 {
+					t.Fatal("byte accounting missing")
+				}
+				if r.Timings.Train <= 0 || r.Timings.Decompress <= 0 || r.Timings.DecompressWall <= 0 || r.Timings.Validate <= 0 {
+					t.Fatalf("timings missing: %+v", r.Timings)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchDecodeMatchesPerPayload: the BatchTransport wiring RunRound
+// uses must decode bit-identically to per-payload Decode.
+func TestBatchDecodeMatchesPerPayload(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	var bt BatchTransport = tr // compile-time: FedSZTransport batches
+
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		net, err := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i], _, err = tr.Encode(net.StateDict())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, durs, err := bt.DecodeAll(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durs) != len(payloads) {
+		t.Fatalf("got %d durations for %d payloads", len(durs), len(payloads))
+	}
+	for i, d := range durs {
+		if d <= 0 {
+			t.Fatalf("payload %d: non-positive decode duration %v", i, d)
+		}
+	}
+	for i, p := range payloads {
+		single, err := tr.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := batch[i].MaxAbsDiff(single)
+		if err != nil || d != 0 {
+			t.Fatalf("payload %d: batch decode differs (d=%v err=%v)", i, d, err)
+		}
+	}
 }
 
 func TestClientTrainingReducesLoss(t *testing.T) {

@@ -2,6 +2,8 @@ package lossless
 
 import (
 	"encoding/binary"
+
+	"repro/internal/sched"
 )
 
 // BloscLZ is the speed-tuned codec modelled on blosc-lz: a byte-shuffle
@@ -45,6 +47,9 @@ func (c *BloscLZ) Compress(src []byte) ([]byte, error) {
 	}
 	out = append(out, shuffled)
 	seqs, lits := lzParse(work, c.cfg)
+	if shuffled == 1 {
+		sched.PutBytes(work) // lzParse copied what it needs into lits
+	}
 	litPos := 0
 	for _, s := range seqs {
 		out = appendUvarint(out, uint64(s.litLen))
@@ -107,7 +112,9 @@ func (c *BloscLZ) Decompress(src []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	if shuffled == 1 {
-		out = unshuffleBytes(out, c.elemSize)
+		un := unshuffleBytes(out, c.elemSize)
+		sched.PutBytes(out)
+		out = un
 	}
 	return out, nil
 }

@@ -25,6 +25,11 @@ import (
 var ErrCorrupt = errors.New("lossless: corrupt compressed data")
 
 // Codec is a self-framing lossless byte compressor.
+//
+// Implementations must be safe for concurrent use and must return freshly
+// allocated buffers (never aliases of the input or of retained state):
+// ownership transfers to the caller, which may recycle them through the
+// sched buffer pools.
 type Codec interface {
 	// Name returns the registry name of the codec (e.g. "blosclz").
 	Name() string

@@ -2,6 +2,7 @@ package lossless
 
 import (
 	"encoding/binary"
+	"sync"
 )
 
 // Shared LZ77 machinery: a hash-chain matcher producing (literal run, match)
@@ -36,6 +37,13 @@ func lzHash(v uint32) uint32 {
 	return (v * 2654435761) >> (32 - lzHashBits)
 }
 
+// headPool recycles the 128 KiB hash-head arrays across lzParse calls —
+// with per-tensor fan-out the matcher runs hundreds of times per round.
+var headPool = sync.Pool{New: func() any {
+	h := make([]int32, 1<<lzHashBits)
+	return &h
+}}
+
 // lzParse greedily (or lazily) factors src into sequences. literals holds
 // the concatenated literal bytes referenced by the sequences, in order.
 func lzParse(src []byte, cfg matcherConfig) (seqs []sequence, literals []byte) {
@@ -47,7 +55,9 @@ func lzParse(src []byte, cfg matcherConfig) (seqs []sequence, literals []byte) {
 		}
 		return seqs, literals
 	}
-	head := make([]int32, 1<<lzHashBits)
+	headp := headPool.Get().(*[]int32)
+	defer headPool.Put(headp)
+	head := *headp
 	for i := range head {
 		head[i] = -1
 	}

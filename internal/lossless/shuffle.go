@@ -1,18 +1,25 @@
 package lossless
 
+import "repro/internal/sched"
+
 // Byte-shuffle filter (the heart of blosc): rearrange an array of fixed-size
 // elements so that byte 0 of every element comes first, then byte 1, etc.
 // For float32 data this groups the (highly similar) sign/exponent bytes,
 // turning low-entropy structure into long runs the LZ stage can exploit.
+//
+// Both directions draw their output buffer from the shared sched pool;
+// callers that only need the result transiently recycle it with
+// sched.PutBytes.
 
 // shuffleBytes returns src rearranged with the given element size. Bytes
 // beyond the last full element (the remainder) are appended unshuffled.
 func shuffleBytes(src []byte, elemSize int) []byte {
+	out := sched.GetBytes(len(src))[:len(src)]
 	if elemSize <= 1 || len(src) < 2*elemSize {
-		return append([]byte(nil), src...)
+		copy(out, src)
+		return out
 	}
 	n := len(src) / elemSize
-	out := make([]byte, len(src))
 	for b := 0; b < elemSize; b++ {
 		base := b * n
 		for i := 0; i < n; i++ {
@@ -25,11 +32,12 @@ func shuffleBytes(src []byte, elemSize int) []byte {
 
 // unshuffleBytes reverses shuffleBytes.
 func unshuffleBytes(src []byte, elemSize int) []byte {
+	out := sched.GetBytes(len(src))[:len(src)]
 	if elemSize <= 1 || len(src) < 2*elemSize {
-		return append([]byte(nil), src...)
+		copy(out, src)
+		return out
 	}
 	n := len(src) / elemSize
-	out := make([]byte, len(src))
 	for b := 0; b < elemSize; b++ {
 		base := b * n
 		for i := 0; i < n; i++ {

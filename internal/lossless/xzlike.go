@@ -2,6 +2,8 @@ package lossless
 
 import (
 	"encoding/binary"
+
+	"repro/internal/sched"
 )
 
 // XZLike is the highest-effort codec in the suite, modelled on XZ/LZMA's
@@ -42,6 +44,9 @@ func (c *XZLike) Compress(src []byte) ([]byte, error) {
 		work = shuffleBytes(src, c.elemSize)
 	}
 	seqs, lits := lzParse(work, c.cfg)
+	if shuffled == 1 {
+		sched.PutBytes(work) // lzParse copied what it needs into lits
+	}
 
 	ctl := make([]byte, 0, len(seqs)*5)
 	ctl = appendUvarint(ctl, uint64(len(seqs)))
@@ -139,7 +144,9 @@ func (c *XZLike) Decompress(src []byte) ([]byte, error) {
 		return nil, err
 	}
 	if shuffled == 1 {
-		out = unshuffleBytes(out, c.elemSize)
+		un := unshuffleBytes(out, c.elemSize)
+		sched.PutBytes(out)
+		out = un
 	}
 	return out, nil
 }

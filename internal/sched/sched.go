@@ -1,0 +1,165 @@
+// Package sched is the shared concurrency substrate for the FedSZ
+// pipeline: a bounded worker pool with caller-runs semantics and
+// sync.Pool-backed reuse of the large transient byte/float32 buffers the
+// codecs churn through.
+//
+// The pool exists to give one *process-wide* (or one *batch-wide*)
+// parallelism budget. The seed code bounded each Compress call by
+// GOMAXPROCS independently, so an aggregation server decoding N client
+// streams concurrently oversubscribed the machine N-fold. A sched.Pool is
+// instead shared: the outer batch loop and the per-tensor fan-out inside
+// each call draw helper tokens from the same budget, so total concurrency
+// stays at the configured parallelism regardless of nesting.
+//
+// Deadlock freedom comes from the caller-runs discipline: ForEach never
+// blocks waiting for a token — the calling goroutine always works through
+// items itself, and helper goroutines join only when a token is free.
+// Nested ForEach calls therefore cannot starve each other.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded parallelism budget. The zero value is not usable; call
+// NewPool. A nil *Pool is valid and runs everything serially.
+type Pool struct {
+	// sem holds helper tokens: parallelism-1 slots, since the calling
+	// goroutine always participates as the +1.
+	sem chan struct{}
+}
+
+// NewPool returns a pool with the given parallelism budget. Zero or
+// negative selects GOMAXPROCS.
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, parallelism-1)}
+}
+
+// Serial returns a pool that runs everything on the calling goroutine —
+// equivalent to NewPool(1), useful as an explicit "no concurrency" choice.
+func Serial() *Pool { return NewPool(1) }
+
+var defaultPool = sync.OnceValue(func() *Pool { return NewPool(0) })
+
+// Default returns the process-wide shared pool, sized to GOMAXPROCS.
+// Every caller that does not bring its own pool shares this budget, so
+// concurrent Compress/Decompress calls cannot oversubscribe the machine.
+func Default() *Pool { return defaultPool() }
+
+// Parallelism returns the pool's configured budget (1 for a nil pool).
+func (p *Pool) Parallelism() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.sem) + 1
+}
+
+// ForEach runs fn(i) for every i in [0, n). The calling goroutine always
+// participates; up to Parallelism()-1 helper goroutines join while tokens
+// are free in the shared budget. ForEach returns when all n items are done.
+// fn must be safe for concurrent invocation on distinct i.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || cap(p.sem) == 0 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	// Recruit helpers without blocking: each takes a token for its whole
+	// drain of the index counter and releases it on exit.
+	for h := 0; h < n-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break // budget exhausted; the caller covers the rest
+	}
+	work()
+	wg.Wait()
+}
+
+// maxPooledBytes caps what the buffer pools retain so a one-off giant
+// model does not pin its buffers forever (64 MiB ≈ a 16 M-parameter
+// partition, well above the per-tensor sizes the pipeline sees).
+const maxPooledBytes = 64 << 20
+
+var bytePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBytes returns a zero-length byte slice with capacity at least n,
+// reusing a pooled buffer when one is large enough. Pass the result to
+// PutBytes when it is no longer referenced anywhere.
+func GetBytes(n int) []byte {
+	bp := bytePool.Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	bytePool.Put(bp)
+	if cap(b) < n {
+		return make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// PutBytes recycles b for a future GetBytes. The caller must not retain
+// any reference (including sub-slices) to b afterwards.
+func PutBytes(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBytes {
+		return
+	}
+	b = b[:0]
+	bp := bytePool.Get().(*[]byte)
+	*bp = b
+	bytePool.Put(bp)
+}
+
+var floatPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// GetFloats returns a zero-length float32 slice with capacity at least n,
+// reusing a pooled buffer when one is large enough.
+func GetFloats(n int) []float32 {
+	fp := floatPool.Get().(*[]float32)
+	f := *fp
+	*fp = nil
+	floatPool.Put(fp)
+	if cap(f) < n {
+		return make([]float32, 0, n)
+	}
+	return f[:0]
+}
+
+// PutFloats recycles f for a future GetFloats. The caller must not retain
+// any reference to f afterwards.
+func PutFloats(f []float32) {
+	if cap(f) == 0 || cap(f)*4 > maxPooledBytes {
+		return
+	}
+	f = f[:0]
+	fp := floatPool.Get().(*[]float32)
+	*fp = f
+	floatPool.Put(fp)
+}

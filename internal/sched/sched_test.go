@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		p := NewPool(par)
+		for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+			seen := make([]atomic.Int32, n)
+			p.ForEach(n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("par=%d n=%d: index %d ran %d times", par, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Parallelism() != 1 {
+		t.Fatalf("nil pool parallelism %d", p.Parallelism())
+	}
+	sum := 0
+	p.ForEach(10, func(i int) { sum += i }) // no race: must run on caller
+	if sum != 45 {
+		t.Fatalf("sum %d", sum)
+	}
+}
+
+func TestConcurrencyStaysWithinBudget(t *testing.T) {
+	const par = 4
+	p := NewPool(par)
+	var cur, peak atomic.Int32
+	p.ForEach(200, func(i int) {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ { // hold the slot briefly
+			_ = j
+		}
+		cur.Add(-1)
+	})
+	if pk := peak.Load(); pk > par {
+		t.Fatalf("peak concurrency %d exceeds budget %d", pk, par)
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
+func TestSharedBudgetAcrossGoroutines(t *testing.T) {
+	// Many goroutines hammering one pool must all complete (token leak or
+	// lost-wakeup bugs would hang here and trip the test timeout).
+	p := NewPool(3)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.ForEach(50, func(i int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 16*50 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
+func TestBytePoolRoundTrip(t *testing.T) {
+	b := GetBytes(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBytes(b)
+	c := GetBytes(10)
+	if len(c) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(c))
+	}
+	PutBytes(nil) // must not panic
+}
+
+func TestFloatPoolRoundTrip(t *testing.T) {
+	f := GetFloats(64)
+	if len(f) != 0 || cap(f) < 64 {
+		t.Fatalf("len=%d cap=%d", len(f), cap(f))
+	}
+	f = append(f, 1.5)
+	PutFloats(f)
+	g := GetFloats(8)
+	if len(g) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(g))
+	}
+	PutFloats(nil)
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	p := NewPool(0)
+	var sink atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ForEach(16, func(j int) { sink.Add(1) })
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/ebcl"
 	"repro/internal/huffman"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -76,7 +77,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	predKinds := make([]byte, nBlocks)
 	coeffs := make([]float32, 0, 16)
 	codes := make([]int, len(data))
-	var literals []float32
+	literals := sched.GetFloats(len(data) / 64)
 
 	prevRecon := 0.0 // Lorenzo state: last reconstructed value
 	for b := 0; b < nBlocks; b++ {
@@ -112,15 +113,18 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		return nil, err
 	}
 
-	payload := make([]byte, 0, len(codeBlob)+4*len(literals)+64)
+	payload := sched.GetBytes(len(codeBlob) + 4*len(literals) + len(predKinds) + 64)
 	payload = ebcl.AppendSection(payload, predKinds)
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(coeffs))
 	payload = ebcl.AppendSection(payload, codeBlob)
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+	sched.PutFloats(literals)
 
-	out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutFull)
+	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, len(data), ebcl.LayoutFull)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
-	return ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage), nil
+	out = ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage)
+	sched.PutBytes(payload)
+	return out, nil
 }
 
 // Decompress implements ebcl.Compressor.

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ebcl"
 	"repro/internal/huffman"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -98,14 +99,16 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload := make([]byte, 0, len(codeBlob)+4*len(literals)+64)
+	payload := sched.GetBytes(len(codeBlob) + 4*len(literals) + len(levelKinds) + 64)
 	payload = ebcl.AppendSection(payload, levelKinds)
 	payload = ebcl.AppendSection(payload, codeBlob)
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
 
-	out := ebcl.AppendHeader(nil, magic, n, ebcl.LayoutFull)
+	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, n, ebcl.LayoutFull)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
-	return ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage), nil
+	out = ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage)
+	sched.PutBytes(payload)
+	return out, nil
 }
 
 // Decompress implements ebcl.Compressor.

@@ -74,6 +74,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		block := data[lo:hi]
 		bMin, bMax := block[0], block[0]
 		var maxAbs float64
+		finite := true
 		for _, v := range block {
 			if v < bMin {
 				bMin = v
@@ -81,11 +82,17 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 			if v > bMax {
 				bMax = v
 			}
-			if a := math.Abs(float64(v)); a > maxAbs {
-				maxAbs = a
+			// One always-predicted branch covers NaN and ±Inf: both fail
+			// a <= MaxFloat64. Keeps the scan at seed-path speed.
+			if a := math.Abs(float64(v)); a <= math.MaxFloat64 {
+				if a > maxAbs {
+					maxAbs = a
+				}
+			} else {
+				finite = false
 			}
 		}
-		if float64(bMax)-float64(bMin) <= 2*ebAbs {
+		if finite && float64(bMax)-float64(bMin) <= 2*ebAbs {
 			// Constant block: midpoint representation.
 			w.WriteBit(1)
 			mid := float32((float64(bMax) + float64(bMin)) / 2)
@@ -94,13 +101,19 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		}
 		w.WriteBit(0)
 		// Keep k mantissa bits so truncation error 2^(emax-k) <= 2^ebExp.
-		emax := ilogb(maxAbs)
-		k := emax - ebExp
-		if k < 0 {
-			k = 0
-		}
-		if k > 23 {
-			k = 23
+		// A block holding NaN/Inf keeps the full mantissa: truncation could
+		// silently turn NaN into Inf, and a non-finite maxAbs has no usable
+		// exponent, so such blocks are stored losslessly.
+		k := 23
+		if finite {
+			emax := ilogb(maxAbs)
+			k = emax - ebExp
+			if k < 0 {
+				k = 0
+			}
+			if k > 23 {
+				k = 23
+			}
 		}
 		w.WriteBits(uint64(k), 5)
 		keep := uint(9 + k) // sign + 8 exponent + k mantissa bits
