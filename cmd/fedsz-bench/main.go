@@ -20,6 +20,18 @@
 // client streams per round; it reports per-round decode wall time and
 // throughput for a serial decoder versus the shared-pool parallel decoder,
 // plus the Eqn-1 compress/don't-compress decision on a constrained link.
+//
+// Streaming ingest over real sockets (decode-while-receiving):
+//
+//	fedsz-bench -serve -clients 32                # loopback server + 32 uploads
+//	fedsz-bench -serve -clients 32 -mbps 100      # throttle each uplink to 100 Mbps
+//	fedsz-bench -serve -clients 32 -upload host:9464  # upload to a running fedsz-serve
+//
+// Unlike -clients alone (in-memory byte slices), -serve moves every update
+// through the internal/wire framing and a TCP socket into the streaming
+// aggregation server, and reports updates/s, bytes/s, and the
+// decode/receive overlap ratio against the serial and batched in-memory
+// baselines.
 package main
 
 import (
@@ -29,11 +41,13 @@ import (
 	"math/rand/v2"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ebcl"
 	"repro/internal/experiments"
+	"repro/internal/flserve"
 	"repro/internal/netsim"
 	"repro/internal/nn/models"
 	"repro/internal/sched"
@@ -51,12 +65,26 @@ func main() {
 		rounds   = flag.Int("rounds", 3, "ingest rounds to simulate (with -clients)")
 		scale    = flag.Float64("scale", 0.05, "model profile scale (with -clients)")
 		model    = flag.String("model", "alexnet", "profile model for client updates (with -clients)")
+		serve    = flag.Bool("serve", false, "stream the client updates over TCP into the flserve aggregation server (with -clients)")
+		mbps     = flag.Float64("mbps", 0, "throttle each client uplink to this bandwidth (with -serve; 0 = unthrottled)")
+		upload   = flag.String("upload", "", "upload to an external fedsz-serve at this address instead of an in-process server (with -serve)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *serve {
+		if *clients <= 0 {
+			*clients = 32
+		}
+		if err := runStreamSim(os.Stdout, *clients, *parallel, *mbps, *model, *scale, *seed, *upload); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -110,6 +138,114 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// buildUpdates synthesizes per-client compressed updates: same
+// architecture, different weights, like a real round's worth of deltas.
+func buildUpdates(nClients int, model string, scale float64, seed uint64, parallelism int) (streams [][]byte, rawBytes, wireBytes int, err error) {
+	updates := make([]*tensor.StateDict, nClients)
+	for i := range updates {
+		rng := rand.New(rand.NewPCG(seed, uint64(i)+1))
+		sd, err := models.BuildProfile(model, rng, scale)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		updates[i] = sd
+		rawBytes += sd.SizeBytes()
+	}
+	streams, _, err = core.CompressAll(updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for _, s := range streams {
+		wireBytes += len(s)
+	}
+	return streams, rawBytes, wireBytes, nil
+}
+
+// runStreamSim measures the full streaming ingest path — wire framing,
+// TCP loopback, decode-while-receiving, incremental FedAvg fold — against
+// the serial and batched in-memory decoders on the same payloads.
+func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model string, scale float64, seed uint64, uploadAddr string) error {
+	streams, rawBytes, wireBytes, err := buildUpdates(nClients, model, scale, seed, parallelism)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "streaming ingest: %d clients × %s profile (scale %g)\n", nClients, model, scale)
+	fmt.Fprintf(w, "raw %d B -> wire %d B (ratio %.2fx)\n\n", rawBytes, wireBytes, float64(rawBytes)/float64(wireBytes))
+
+	report := func(label string, dur time.Duration, note string) {
+		fmt.Fprintf(w, "%-14s %-14v %10.1f updates/s %10.1f MB/s (raw) %s\n",
+			label, dur.Round(time.Microsecond),
+			float64(nClients)/dur.Seconds(), float64(rawBytes)/dur.Seconds()/1e6, note)
+	}
+
+	// In-memory baselines: the PR-1 batched path at budget 1 and at the
+	// requested budget.
+	for _, mode := range []struct {
+		label string
+		par   int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("batched(%d)", sched.NewPool(parallelism).Parallelism()), parallelism},
+	} {
+		t0 := time.Now()
+		if _, _, err := core.DecompressAll(streams, mode.par); err != nil {
+			return err
+		}
+		report(mode.label, time.Since(t0), "")
+	}
+
+	// Streaming path: wire frames over TCP into the aggregation server.
+	addr := uploadAddr
+	var srv *flserve.Server
+	var agg flserve.Aggregator
+	if addr == "" {
+		srv, err = flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg.Add})
+		if err != nil {
+			return err
+		}
+		addr = srv.Addr().String()
+	}
+	link := netsim.Link{BandwidthMbps: mbps}
+	errs := make([]error, nClients)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s []byte) {
+			defer wg.Done()
+			c := &flserve.Client{Addr: addr, Link: link}
+			errs[i] = c.Upload(uint32(i), s)
+		}(i, s)
+	}
+	wg.Wait()
+	dur := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d upload: %w", i, err)
+		}
+	}
+	if srv == nil {
+		report("upload", dur, fmt.Sprintf("(remote %s; see its summary for overlap)", uploadAddr))
+		return nil
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	note := fmt.Sprintf("overlap %.2f", st.OverlapRatio())
+	if mbps > 0 {
+		note += fmt.Sprintf(" @ %g Mbps/client", mbps)
+	}
+	report("streamed", dur, note)
+	if n := agg.Count(); n != nClients {
+		return fmt.Errorf("aggregated %d of %d updates", n, nClients)
+	}
+	fmt.Fprintf(w, "\ndecode work %v, read wait %v across %d connections\n",
+		st.DecodeWork.Round(time.Microsecond), st.ReadWait.Round(time.Microsecond), st.Updates)
+	fmt.Fprintf(w, "overlap ratio %.2f: fraction of decode hidden behind receive\n", st.OverlapRatio())
+	return nil
 }
 
 // runServerSim plays one process as the aggregation server of the paper's

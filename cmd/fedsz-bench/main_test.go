@@ -26,3 +26,25 @@ func TestServerSimRejectsUnknownModel(t *testing.T) {
 		t.Fatal("expected error for unknown model")
 	}
 }
+
+// TestStreamSimSmoke drives the -serve streaming ingest at quickstart size:
+// in-memory baselines plus a real loopback server round.
+func TestStreamSimSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := runStreamSim(&sb, 6, 2, 0, "alexnet", 0.01, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"streaming ingest", "serial", "batched(2)", "streamed", "overlap ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamSimRejectsUnknownModel(t *testing.T) {
+	var sb strings.Builder
+	if err := runStreamSim(&sb, 2, 1, 0, "nope", 0.01, 1, ""); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

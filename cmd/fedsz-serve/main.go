@@ -1,0 +1,115 @@
+// Command fedsz-serve runs the streaming FedSZ aggregation server: it
+// listens on a TCP address, ingests wire-framed compressed client updates
+// over concurrent connections (decoding each tensor while the next is
+// still arriving), folds them incrementally into a FedAvg mean, and
+// reports ingest throughput and the decode/receive overlap ratio.
+//
+// Usage:
+//
+//	fedsz-serve                          # listen on 127.0.0.1:9464 until interrupted
+//	fedsz-serve -addr :9000 -parallel 8  # custom port, 8-way decode budget
+//	fedsz-serve -updates 64              # exit after 64 updates, print summary
+//
+// Pair it with the upload side of the benchmark harness:
+//
+//	fedsz-serve -updates 32 &
+//	fedsz-bench -serve -clients 32 -upload 127.0.0.1:9464
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flserve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9464", "TCP listen address")
+		parallel = flag.Int("parallel", 0, "decode budget shared across connections (0 = GOMAXPROCS)")
+		maxConns = flag.Int("max-conns", 0, "concurrent connection cap (0 = 4×GOMAXPROCS)")
+		updates  = flag.Int("updates", 0, "exit after N ingested updates (0 = run until interrupted)")
+		quiet    = flag.Bool("quiet", false, "suppress the per-update log lines")
+	)
+	flag.Parse()
+
+	stop := make(chan struct{})
+	if *updates == 0 {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			close(stop)
+		}()
+	}
+	if err := serve(*addr, *parallel, *maxConns, *updates, *quiet, nil, stop, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the server until `updates` have been ingested (when > 0) or
+// stop closes. ready, when non-nil, receives the bound address once the
+// listener is up (the test hook for -addr :0).
+func serve(addr string, parallel, maxConns, updates int, quiet bool, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+	var agg flserve.Aggregator
+	done := make(chan struct{})
+	var once sync.Once
+	var count atomic.Int64
+	// The handler runs concurrently across connections; outMu serializes
+	// the shared writer.
+	var outMu sync.Mutex
+	handler := func(u flserve.Update) error {
+		if err := agg.Add(u); err != nil {
+			return err
+		}
+		if !quiet {
+			outMu.Lock()
+			fmt.Fprintf(out, "client %-6d %8d B wire   decode %-12v overlap %.2f\n",
+				u.Client, u.WireBytes, u.Stats.DecompressTime.Round(time.Microsecond), u.Stats.OverlapRatio())
+			outMu.Unlock()
+		}
+		if updates > 0 && count.Add(1) >= int64(updates) {
+			once.Do(func() { close(done) })
+		}
+		return nil
+	}
+	srv, err := flserve.Listen(addr, flserve.Config{Parallel: parallel, MaxConns: maxConns, Handler: handler})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fedsz-serve listening on %s (parallel=%d)\n", srv.Addr(), parallel)
+	if ready != nil {
+		ready <- srv.Addr().String()
+	}
+	t0 := time.Now()
+	select {
+	case <-done:
+	case <-stop:
+	}
+	wall := time.Since(t0)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(out, "\ningested %d update(s) (%d rejected), %.2f MB wire in %v\n",
+		st.Updates, st.Rejected, float64(st.WireBytes)/1e6, wall.Round(time.Millisecond))
+	if wall > 0 && st.Updates > 0 {
+		fmt.Fprintf(out, "throughput: %.1f updates/s, %.1f MB/s wire\n",
+			float64(st.Updates)/wall.Seconds(), float64(st.WireBytes)/wall.Seconds()/1e6)
+	}
+	fmt.Fprintf(out, "decode work %v, read wait %v, overlap ratio %.2f\n",
+		st.DecodeWork.Round(time.Microsecond), st.ReadWait.Round(time.Microsecond), st.OverlapRatio())
+	if mean, n := agg.Mean(); n > 0 {
+		fmt.Fprintf(out, "FedAvg mean over %d update(s): %d tensors, %d parameters\n",
+			n, mean.Len(), mean.NumParams())
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/flserve"
+	"repro/internal/tensor"
+)
+
+// TestServeSmoke boots the server on a free port, uploads three updates
+// concurrently, and checks the summary output.
+func TestServeSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	// The errCh receive below happens-after serve returns, so reading out
+	// afterwards is race-free.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- serve("127.0.0.1:0", 2, 0, 3, false, ready, nil, &out)
+	}()
+	addr := <-ready
+
+	rng := rand.New(rand.NewPCG(3, 4))
+	var wg sync.WaitGroup
+	uploadErrs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		sd := tensor.NewStateDict()
+		sd.Add("w.weight", tensor.KindWeight, tensor.FromData(eblctest.WeightLike(rng, 2048), 2048))
+		stream, _, err := core.Compress(sd, core.Options{LossyParams: ebcl.Rel(1e-2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, stream []byte) {
+			defer wg.Done()
+			uploadErrs[i] = flserve.Upload(addr, uint32(i), stream)
+		}(i, stream)
+	}
+	wg.Wait()
+	for i, err := range uploadErrs {
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	output := out.String()
+	for _, want := range []string{"listening on", "ingested 3 update(s)", "overlap ratio", "FedAvg mean over 3"} {
+		if !strings.Contains(output, want) {
+			t.Fatalf("output missing %q:\n%s", want, output)
+		}
+	}
+}

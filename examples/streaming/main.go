@@ -1,0 +1,118 @@
+// Streaming scenario: the paper's aggregation server fed by real sockets.
+// Eight clients compress one model update each and upload it concurrently
+// over loopback TCP through a 100 Mbps-throttled uplink; the server
+// decodes each tensor while the next is still arriving (internal/wire
+// framing into core.DecompressFrom on a shared worker pool) and folds
+// finished updates incrementally into a FedAvg mean. The run verifies the
+// streamed aggregate against the in-memory decode of the same payloads and
+// prints the decode/receive overlap the pipelining buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/flserve"
+	"repro/internal/netsim"
+	"repro/internal/nn/models"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const nClients = 8
+	link := netsim.Link{BandwidthMbps: 100}
+
+	// Each client trains locally in the real loop; here one scaled AlexNet
+	// profile per client stands in for a round's update.
+	streams := make([][]byte, nClients)
+	rawBytes := 0
+	for i := range streams {
+		rng := rand.New(rand.NewPCG(7, uint64(i)+1))
+		sd, err := models.BuildProfile("alexnet", rng, 0.02)
+		if err != nil {
+			return err
+		}
+		rawBytes += sd.SizeBytes()
+		if streams[i], _, err = core.Compress(sd, core.Options{LossyParams: ebcl.Rel(1e-2)}); err != nil {
+			return err
+		}
+	}
+
+	// The aggregation server: shared decode budget, incremental FedAvg.
+	var agg flserve.Aggregator
+	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: 4, Handler: agg.Add})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregation server on %s, %d clients @ %g Mbps each\n",
+		srv.Addr(), nClients, link.BandwidthMbps)
+
+	t0 := time.Now()
+	errs := make([]error, nClients)
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s []byte) {
+			defer wg.Done()
+			c := &flserve.Client{Addr: srv.Addr().String(), Link: link}
+			errs[i] = c.Upload(uint32(i), s)
+		}(i, s)
+	}
+	wg.Wait()
+	ingestWall := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	st := srv.Stats()
+	fmt.Printf("ingested %d updates (%.2f MB wire) in %v — %.1f updates/s\n",
+		st.Updates, float64(st.WireBytes)/1e6, ingestWall.Round(time.Millisecond),
+		float64(st.Updates)/ingestWall.Seconds())
+	fmt.Printf("decode work %v hidden behind receive: overlap ratio %.2f\n",
+		st.DecodeWork.Round(time.Microsecond), st.OverlapRatio())
+
+	// Verify: the streamed FedAvg mean must match the mean of the
+	// in-memory decodes of the same payloads.
+	mean, n := agg.Mean()
+	if n != nClients {
+		return fmt.Errorf("aggregated %d of %d updates", n, nClients)
+	}
+	var want *tensor.StateDict
+	for _, s := range streams {
+		sd, _, err := core.Decompress(s)
+		if err != nil {
+			return err
+		}
+		if want == nil {
+			want = sd.Zero()
+		}
+		if err := want.AddScaled(sd, 1/float32(nClients)); err != nil {
+			return err
+		}
+	}
+	d, err := mean.MaxAbsDiff(want)
+	if err != nil {
+		return err
+	}
+	if d > 1e-5 {
+		return fmt.Errorf("streamed mean differs from in-memory mean by %g", d)
+	}
+	fmt.Printf("streamed FedAvg mean matches in-memory decode (max diff %g)\n", d)
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestStreamingRuns executes the example end-to-end; run returns an error
+// if any upload fails or the streamed aggregate diverges from the
+// in-memory decode.
+func TestStreamingRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

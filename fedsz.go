@@ -37,9 +37,22 @@
 // Results are bit-identical to per-call Compress/Decompress. See
 // cmd/fedsz-bench -clients N -parallel P for a one-process simulation of
 // the aggregation-server round loop.
+//
+// # Streaming ingest
+//
+// A FedSZ stream is sequential — header, per-tensor sections, one
+// lossless section — so it decodes incrementally while still arriving:
+// DecompressFrom reads from any io.Reader and decodes tensor i on the
+// shared worker pool while tensor i+1 is still being received. Around it,
+// internal/wire adds a length-framed, CRC-checked transport encoding and
+// internal/flserve a TCP aggregation server that ingests concurrent
+// client uploads with bounded memory and per-connection backpressure; see
+// cmd/fedsz-serve and cmd/fedsz-bench -serve for the socket-level round
+// loop, and the README for the wire-format layout.
 package fedsz
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/compressors"
@@ -100,6 +113,15 @@ func Compress(sd *StateDict, opts Options) ([]byte, *Stats, error) {
 // Decompress reverses Compress; the stream is self-describing.
 func Decompress(stream []byte) (*StateDict, error) {
 	sd, _, err := core.Decompress(stream)
+	return sd, err
+}
+
+// DecompressFrom decodes a FedSZ stream incrementally from r: each
+// tensor's compressed blob decodes on the shared worker pool while the
+// next is still being read, so on a socket the decode overlaps the
+// receive. The result is bit-identical to Decompress of the same bytes.
+func DecompressFrom(r io.Reader) (*StateDict, error) {
+	sd, _, err := core.DecompressFrom(r)
 	return sd, err
 }
 

@@ -1,6 +1,7 @@
 package fedsz
 
 import (
+	"bytes"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -140,5 +141,26 @@ func TestBoundHelpers(t *testing.T) {
 	}
 	if RelBound(1e-2).Mode == AbsBound(1e-2).Mode {
 		t.Fatal("modes must differ")
+	}
+}
+
+func TestDecompressFromMatchesDecompress(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	sd := buildDemoDict(rng)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressFrom(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.MaxAbsDiff(want)
+	if err != nil || d != 0 {
+		t.Fatalf("streaming decode differs: d=%v err=%v", d, err)
 	}
 }

@@ -30,9 +30,9 @@ type codecTraits struct {
 	// mapping has no formal bound (paper §V-D1), so it runs loose.
 	strictBound bool
 	looseFactor float64
-	// preservesNonFinite: NaN/±Inf payload values survive bit-exactly
-	// (sz2/sz3 escape them to literals, szx stores such blocks
-	// losslessly). ZFP clamps non-finite blocks to zero by design.
+	// preservesNonFinite: NaN/±Inf payload values survive bit-exactly.
+	// All four codecs now escape non-finite data to literals: sz2/sz3
+	// per-value, szx and zfp per-block.
 	preservesNonFinite bool
 }
 
@@ -40,7 +40,7 @@ var traits = map[string]codecTraits{
 	"sz2": {strictBound: true, preservesNonFinite: true},
 	"sz3": {strictBound: true, preservesNonFinite: true},
 	"szx": {strictBound: true, preservesNonFinite: true},
-	"zfp": {strictBound: false, looseFactor: 8, preservesNonFinite: false},
+	"zfp": {strictBound: false, looseFactor: 8, preservesNonFinite: true},
 }
 
 // dictShape builds one edge-case state dict per named shape.
@@ -157,8 +157,9 @@ func checkRoundTrip(t *testing.T, orig, got *tensor.StateDict, opts core.Options
 }
 
 // allFiniteNear reports whether the 4-aligned block around index j is free
-// of non-finite values — ZFP clamps whole blocks containing NaN/Inf, so
-// finite neighbours of a poisoned value carry no bound there.
+// of non-finite values. ZFP stores poisoned blocks as exact literals, so
+// their finite neighbours are bit-exact rather than bounded — the loose
+// bound check only applies to fully finite blocks.
 func allFiniteNear(data []float32, j int) bool {
 	lo := j &^ 3
 	hi := lo + 4

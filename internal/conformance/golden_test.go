@@ -1,0 +1,174 @@
+package conformance
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compressors"
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// The golden-stream corpus locks the serialized formats across PRs: for
+// each codec configuration, testdata holds the compressed FedSZ stream
+// (.fsz), its wire framing (.wire), and the marshaled decoded state dict
+// (.sd) as produced at check-in time. Decoders of any later revision must
+// reproduce the .sd bytes exactly from both containers — decode stability
+// is the contract; encoders may change (a stream re-encoded today need
+// not match .fsz), but every stream ever written must keep decoding.
+//
+// Regenerate after an *intentional, version-bumped* format change with:
+//
+//	go test ./internal/conformance -run TestGoldenStreams -update
+
+var update = flag.Bool("update", false, "rewrite the golden-stream corpus")
+
+// goldenDict builds the deterministic state dict the corpus encodes:
+// two lossy weight tensors plus bit-sensitive metadata.
+func goldenDict(nonFinite bool) *tensor.StateDict {
+	rng := rand.New(rand.NewPCG(2024, 1105))
+	sd := tensor.NewStateDict()
+	w1 := tensor.FromData(eblctest.WeightLike(rng, 4096), 64, 64)
+	w2 := tensor.FromData(eblctest.WeightLike(rng, 2000), 2000)
+	if nonFinite {
+		w1.Data[17] = float32(math.NaN())
+		w1.Data[1025] = float32(math.Inf(1))
+		w2.Data[1999] = float32(math.Inf(-1))
+	}
+	sd.Add("conv1.weight", tensor.KindWeight, w1)
+	sd.Add("fc.weight", tensor.KindWeight, w2)
+	b := tensor.New(64)
+	for i := range b.Data {
+		b.Data[i] = float32(0.01 * rng.NormFloat64())
+	}
+	sd.Add("conv1.bias", tensor.KindBias, b)
+	step := tensor.New(1)
+	step.Data[0] = 42
+	sd.Add("step", tensor.KindScalarMeta, step)
+	return sd
+}
+
+type goldenCase struct {
+	name      string
+	lossy     string
+	params    ebcl.Params
+	nonFinite bool
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, lossy := range compressors.Names() {
+		cases = append(cases, goldenCase{
+			name:   fmt.Sprintf("rel1e-2_%s", lossy),
+			lossy:  lossy,
+			params: ebcl.Rel(1e-2),
+		})
+		cases = append(cases, goldenCase{
+			name:      fmt.Sprintf("abs1e-3_nonfinite_%s", lossy),
+			lossy:     lossy,
+			params:    ebcl.Abs(1e-3),
+			nonFinite: true,
+		})
+	}
+	return cases
+}
+
+func goldenPath(name, ext string) string {
+	return filepath.Join("testdata", name+"."+ext)
+}
+
+// regenerate writes one case's three artifacts.
+func regenerate(t *testing.T, gc goldenCase) {
+	t.Helper()
+	lossy, err := compressors.Get(gc.lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := goldenDict(gc.nonFinite)
+	stream, _, err := core.Compress(sd, core.Options{Lossy: lossy, LossyParams: gc.params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := core.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var framed bytes.Buffer
+	if err := wire.NewWriter(&framed).WriteStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		ext  string
+		data []byte
+	}{
+		{"fsz", stream},
+		{"wire", framed.Bytes()},
+		{"sd", decoded.Marshal()},
+	} {
+		if err := os.WriteFile(goldenPath(gc.name, f.ext), f.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGoldenStreams(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			if *update {
+				regenerate(t, gc)
+			}
+			stream, err := os.ReadFile(goldenPath(gc.name, "fsz"))
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			wantSD, err := os.ReadFile(goldenPath(gc.name, "sd"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			framed, err := os.ReadFile(goldenPath(gc.name, "wire"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The checked-in stream must decode byte-for-byte.
+			sd, _, err := core.Decompress(stream)
+			if err != nil {
+				t.Fatalf("golden stream no longer decodes: %v", err)
+			}
+			if !bytes.Equal(sd.Marshal(), wantSD) {
+				t.Fatal("golden stream decodes to different bytes — the stream format drifted")
+			}
+
+			// The wire container must reassemble the identical payload and
+			// decode identically through the streaming path.
+			r := wire.NewReader(bytes.NewReader(framed))
+			payload, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("golden wire stream no longer de-frames: %v", err)
+			}
+			if !bytes.Equal(payload, stream) {
+				t.Fatal("wire payload differs from the golden stream — the wire format drifted")
+			}
+			wsd, _, err := core.DecompressFrom(bytes.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wsd.Marshal(), wantSD) {
+				t.Fatal("streaming decode of golden wire stream differs")
+			}
+		})
+	}
+}

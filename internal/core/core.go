@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/compressors"
 	"repro/internal/ebcl"
 	"repro/internal/lossless"
 	"repro/internal/sched"
@@ -213,7 +212,34 @@ func CompressWith(pool *sched.Pool, sd *tensor.StateDict, opts Options) ([]byte,
 
 // DecompressStats reports what one Decompress call did.
 type DecompressStats struct {
+	// DecompressTime is the wall clock of the whole decode, including time
+	// spent waiting for input when reading from a stream.
 	DecompressTime time.Duration
+	// ReadWait is the time the decoder spent blocked reading its input —
+	// effectively zero for in-memory streams, the network-bound component
+	// for socket ingest.
+	ReadWait time.Duration
+	// DecodeWork is the summed per-blob decode time across all tensors and
+	// the lossless partition (it exceeds wall clock when decode fans out).
+	DecodeWork time.Duration
+}
+
+// OverlapRatio reports the fraction of decode work hidden behind the rest
+// of the call — input waits and other blobs' decodes: 0 means the decode
+// ran strictly after receiving (wall = wait + work), 1 means it was fully
+// overlapped (wall ≈ wait, the network-bound ideal of a streaming server).
+func (s *DecompressStats) OverlapRatio() float64 {
+	if s.DecodeWork <= 0 {
+		return 0
+	}
+	hidden := s.ReadWait + s.DecodeWork - s.DecompressTime
+	switch {
+	case hidden <= 0:
+		return 0
+	case hidden >= s.DecodeWork:
+		return 1
+	}
+	return float64(hidden) / float64(s.DecodeWork)
 }
 
 // Decompress reverses Compress on the process-wide shared worker pool. The
@@ -225,162 +251,11 @@ func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 
 // DecompressWith reverses Compress, decoding the per-tensor lossy blobs
 // concurrently on the given pool (nil runs serially) — the mirror of the
-// compress-side fan-out. The section layout is parsed serially first (it
-// is cheap and inherently sequential), then every lossy tensor and the
-// lossless partition decode in parallel.
+// compress-side fan-out. It shares one decoder with the streaming
+// DecompressFrom; the in-memory source serves zero-copy section views, so
+// the batch server's hot path pays no receive buffering.
 func DecompressWith(pool *sched.Pool, stream []byte) (*tensor.StateDict, *DecompressStats, error) {
-	start := time.Now()
-	pos := 0
-	if len(stream) < 5 || binary.LittleEndian.Uint32(stream) != streamMagic {
-		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if stream[4] != streamVersion {
-		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
-	}
-	pos = 5
-	lossyName, pos, err := readString(stream, pos)
-	if err != nil {
-		return nil, nil, err
-	}
-	losslessName, pos, err := readString(stream, pos)
-	if err != nil {
-		return nil, nil, err
-	}
-	lossy, err := compressors.Get(lossyName)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	codec, err := lossless.Get(losslessName)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if pos+4 > len(stream) {
-		return nil, nil, ErrCorrupt
-	}
-	count := int(binary.LittleEndian.Uint32(stream[pos:]))
-	pos += 4
-	if pos+count > len(stream) {
-		return nil, nil, ErrCorrupt
-	}
-	flags := stream[pos : pos+count]
-	pos += count
-
-	nLossy := 0
-	for _, f := range flags {
-		switch f {
-		case pathLossy:
-			nLossy++
-		case pathLossless:
-		default:
-			return nil, nil, ErrCorrupt
-		}
-	}
-
-	// Phase 1 — serial parse: walk the section layout, recording names,
-	// shapes, and blob views into the stream. No decoding happens here, so
-	// the walk is cheap even for large models.
-	type lossyEntry struct {
-		name  string
-		kind  tensor.Kind
-		shape []int
-		elems int
-		blob  []byte
-		data  []float32
-	}
-	lossyEntries := make([]lossyEntry, 0, nLossy)
-	for i := 0; i < nLossy; i++ {
-		var e lossyEntry
-		e.name, pos, err = readString(stream, pos)
-		if err != nil {
-			return nil, nil, err
-		}
-		if pos+2 > len(stream) {
-			return nil, nil, ErrCorrupt
-		}
-		e.kind = tensor.Kind(stream[pos])
-		rank := int(stream[pos+1])
-		pos += 2
-		if pos+4*rank > len(stream) {
-			return nil, nil, ErrCorrupt
-		}
-		e.shape = make([]int, rank)
-		e.elems = 1
-		for d := range e.shape {
-			e.shape[d] = int(binary.LittleEndian.Uint32(stream[pos:]))
-			e.elems *= e.shape[d]
-			pos += 4
-		}
-		e.blob, pos, err = ebcl.ReadSection(stream, pos)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: lossy section %q: %w", ErrCorrupt, e.name, err)
-		}
-		lossyEntries = append(lossyEntries, e)
-	}
-
-	restBlob, _, err := ebcl.ReadSection(stream, pos)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: metadata section: %w", ErrCorrupt, err)
-	}
-
-	// Phase 2 — parallel decode: every lossy tensor plus the lossless
-	// partition (the extra index) decodes concurrently on the shared pool,
-	// mirroring the compress-side fan-out.
-	var rest *tensor.StateDict
-	decodeErrs := make([]error, nLossy+1)
-	pool.ForEach(nLossy+1, func(i int) {
-		if i == nLossy {
-			restRaw, derr := codec.Decompress(restBlob)
-			if derr != nil {
-				decodeErrs[i] = fmt.Errorf("%w: lossless decompress: %w", ErrCorrupt, derr)
-				return
-			}
-			rest, derr = tensor.UnmarshalStateDict(restRaw)
-			sched.PutBytes(restRaw)
-			if derr != nil {
-				decodeErrs[i] = fmt.Errorf("%w: metadata decode: %w", ErrCorrupt, derr)
-			}
-			return
-		}
-		e := &lossyEntries[i]
-		data, derr := lossy.Decompress(e.blob)
-		if derr != nil {
-			decodeErrs[i] = fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, e.name, derr)
-			return
-		}
-		if len(data) != e.elems {
-			decodeErrs[i] = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
-			return
-		}
-		e.data = data
-	})
-	for _, derr := range decodeErrs {
-		if derr != nil {
-			return nil, nil, derr
-		}
-	}
-
-	// Re-interleave to the original order.
-	out := tensor.NewStateDict()
-	li, ri := 0, 0
-	restEntries := rest.Entries()
-	for _, f := range flags {
-		if f == pathLossy {
-			if li >= len(lossyEntries) {
-				return nil, nil, ErrCorrupt
-			}
-			e := lossyEntries[li]
-			li++
-			out.Add(e.name, e.kind, tensor.FromData(e.data, e.shape...))
-		} else {
-			if ri >= len(restEntries) {
-				return nil, nil, ErrCorrupt
-			}
-			e := restEntries[ri]
-			ri++
-			out.Add(e.Name, e.Kind, e.Tensor)
-		}
-	}
-	return out, &DecompressStats{DecompressTime: time.Since(start)}, nil
+	return decompressSource(pool, &byteSource{data: stream})
 }
 
 // CompressAll runs the FedSZ pipeline over many client state dicts with

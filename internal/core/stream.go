@@ -1,0 +1,443 @@
+package core
+
+// Streaming decode: the io.Reader-based counterpart of Compress's output.
+//
+// A FedSZ stream is already sequential — header, per-tensor sections, one
+// lossless-partition section — so it can be decoded incrementally while it
+// is still arriving from a socket: as soon as tensor i's section is fully
+// read, its decode is submitted to the shared worker pool and the reader
+// goroutine moves on to tensor i+1. The in-memory Decompress is a thin
+// wrapper over this path (a bytes.Reader delivers every section
+// instantly), so there is exactly one decoder.
+//
+// Sections exposes the same boundaries to the transport layer: the wire
+// format (internal/wire) frames a stream at section granularity, which
+// means a receiver piping wire payloads into DecompressFrom decodes tensor
+// i while tensor i+1 is still crossing the network.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/lossless"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+const (
+	// maxStreamEntries bounds the tensor count a header may declare before
+	// the flag array is allocated (a real model has a few hundred entries).
+	maxStreamEntries = 1 << 20
+	// maxSectionBytes bounds a single section's declared length.
+	maxSectionBytes = 1 << 30
+)
+
+// StreamSections splits a FedSZ stream into its transport framing units.
+// All fields are views into the original stream, not copies, and their
+// concatenation (Header, Tensors..., Lossless) is the logical stream.
+type StreamSections struct {
+	// Header spans the fixed preamble: magic, version, compressor names,
+	// entry count, and path flags.
+	Header []byte
+	// Tensors holds one unit per lossy tensor: name, kind, shape, and the
+	// length-prefixed compressed blob.
+	Tensors [][]byte
+	// Lossless is the length-prefixed lossless-partition section.
+	Lossless []byte
+}
+
+// Sections parses the section boundaries of a serialized FedSZ stream
+// without decoding any payloads — the sender-side half of wire framing.
+func Sections(stream []byte) (*StreamSections, error) {
+	if len(stream) < 5 || binary.LittleEndian.Uint32(stream) != streamMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if stream[4] != streamVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
+	}
+	pos := 5
+	var err error
+	if _, pos, err = readString(stream, pos); err != nil { // lossy name
+		return nil, err
+	}
+	if _, pos, err = readString(stream, pos); err != nil { // lossless name
+		return nil, err
+	}
+	if pos+4 > len(stream) {
+		return nil, ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(stream[pos:]))
+	pos += 4
+	if count > maxStreamEntries || pos+count > len(stream) {
+		return nil, ErrCorrupt
+	}
+	nLossy := 0
+	for _, f := range stream[pos : pos+count] {
+		switch f {
+		case pathLossy:
+			nLossy++
+		case pathLossless:
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	pos += count
+
+	s := &StreamSections{Header: stream[:pos], Tensors: make([][]byte, 0, nLossy)}
+	for i := 0; i < nLossy; i++ {
+		tStart := pos
+		if _, pos, err = readString(stream, pos); err != nil { // tensor name
+			return nil, err
+		}
+		if pos+2 > len(stream) {
+			return nil, ErrCorrupt
+		}
+		rank := int(stream[pos+1])
+		pos += 2
+		if pos+4*rank > len(stream) {
+			return nil, ErrCorrupt
+		}
+		pos += 4 * rank
+		if _, pos, err = ebcl.ReadSection(stream, pos); err != nil {
+			return nil, fmt.Errorf("%w: lossy section %d: %w", ErrCorrupt, i, err)
+		}
+		s.Tensors = append(s.Tensors, stream[tStart:pos])
+	}
+	lStart := pos
+	if _, pos, err = ebcl.ReadSection(stream, pos); err != nil {
+		return nil, fmt.Errorf("%w: metadata section: %w", ErrCorrupt, err)
+	}
+	s.Lossless = stream[lStart:pos]
+	return s, nil
+}
+
+// streamSource abstracts the decoder's input. The in-memory source serves
+// zero-copy section views straight out of the stream (the batch server's
+// hot path); the reader source receives sections into pooled buffers as
+// the bytes arrive.
+type streamSource interface {
+	// readFull fills buf or fails with a corruption error naming what.
+	readFull(buf []byte, what string) error
+	// readString reads a length-prefixed name.
+	readString(what string) (string, error)
+	// readSection reads one uvarint-length-prefixed section, returning its
+	// bytes and a release callback valid once the bytes are dead (recycles
+	// pooled buffers; no-op for in-memory views).
+	readSection(what string) ([]byte, func(), error)
+	// wait reports time spent blocked on input.
+	wait() time.Duration
+}
+
+// corruptRead maps read failures to ErrCorrupt: a stream that ends (or
+// errors) mid-structure is malformed from the decoder's point of view.
+func corruptRead(context string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrCorrupt, context, err)
+}
+
+func releaseNothing() {}
+
+// byteSource decodes an in-memory stream with zero-copy section views.
+type byteSource struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSource) readFull(buf []byte, what string) error {
+	if s.pos+len(buf) > len(s.data) {
+		return corruptRead(what, io.ErrUnexpectedEOF)
+	}
+	copy(buf, s.data[s.pos:])
+	s.pos += len(buf)
+	return nil
+}
+
+func (s *byteSource) readString(what string) (string, error) {
+	str, pos, err := readString(s.data, s.pos)
+	if err != nil {
+		return "", fmt.Errorf("%w: %s", err, what)
+	}
+	s.pos = pos
+	return str, nil
+}
+
+func (s *byteSource) readSection(what string) ([]byte, func(), error) {
+	blob, pos, err := ebcl.ReadSection(s.data, s.pos)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %s: %w", ErrCorrupt, what, err)
+	}
+	s.pos = pos
+	return blob, releaseNothing, nil
+}
+
+func (s *byteSource) wait() time.Duration { return 0 }
+
+// readTracker measures time spent blocked in the underlying Read — the
+// "waiting for the network" component of a streaming decode.
+type readTracker struct {
+	r       io.Reader
+	blocked time.Duration
+}
+
+func (t *readTracker) Read(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := t.r.Read(p)
+	t.blocked += time.Since(t0)
+	return n, err
+}
+
+// readerSource decodes an arriving stream, receiving each section into a
+// pooled buffer that grows with the bytes actually received (a hostile
+// length prefix cannot force a giant up-front allocation).
+type readerSource struct {
+	br      *bufio.Reader
+	tracker *readTracker
+}
+
+func newReaderSource(r io.Reader) *readerSource {
+	t := &readTracker{r: r}
+	return &readerSource{br: bufio.NewReaderSize(t, 4096), tracker: t}
+}
+
+func (s *readerSource) readFull(buf []byte, what string) error {
+	if _, err := io.ReadFull(s.br, buf); err != nil {
+		return corruptRead(what, err)
+	}
+	return nil
+}
+
+func (s *readerSource) readString(what string) (string, error) {
+	l, err := s.br.ReadByte()
+	if err != nil {
+		return "", corruptRead(what, err)
+	}
+	buf := make([]byte, int(l))
+	if err := s.readFull(buf, what); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (s *readerSource) readSection(what string) ([]byte, func(), error) {
+	l, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return nil, nil, corruptRead(what, err)
+	}
+	if l > maxSectionBytes {
+		return nil, nil, fmt.Errorf("%w: %s: section length %d exceeds limit", ErrCorrupt, what, l)
+	}
+	buf, err := sched.ReadFullPooled(s.br, int(l))
+	if err != nil {
+		return nil, nil, corruptRead(what, err)
+	}
+	return buf, func() { sched.PutBytes(buf) }, nil
+}
+
+func (s *readerSource) wait() time.Duration { return s.tracker.blocked }
+
+// DecompressFrom decodes a FedSZ stream incrementally from r on the
+// process-wide shared pool: tensor i decodes while tensor i+1 is still
+// being read, which on a socket means decode overlaps receive.
+func DecompressFrom(r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
+	return DecompressFromWith(sched.Default(), r)
+}
+
+// DecompressFromWith is DecompressFrom drawing decode parallelism from the
+// given pool (nil runs serially). The reading goroutine submits each fully
+// received blob to the pool and immediately returns to reading; when the
+// pool budget is exhausted it decodes inline, which pauses reading — the
+// per-connection backpressure that keeps a streaming server's peak memory
+// bounded by its parallelism budget rather than its client count.
+func DecompressFromWith(pool *sched.Pool, r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
+	return decompressSource(pool, newReaderSource(r))
+}
+
+// decompressSource is the one decoder behind both entry points.
+func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *DecompressStats, error) {
+	start := time.Now()
+
+	var hdr [5]byte
+	if err := src.readFull(hdr[:], "header"); err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != streamMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if hdr[4] != streamVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	lossyName, err := src.readString("lossy compressor name")
+	if err != nil {
+		return nil, nil, err
+	}
+	losslessName, err := src.readString("lossless codec name")
+	if err != nil {
+		return nil, nil, err
+	}
+	lossy, err := compressors.Get(lossyName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	codec, err := lossless.Get(losslessName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var cnt [4]byte
+	if err := src.readFull(cnt[:], "entry count"); err != nil {
+		return nil, nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(cnt[:]))
+	if count > maxStreamEntries {
+		return nil, nil, fmt.Errorf("%w: entry count %d exceeds limit", ErrCorrupt, count)
+	}
+	flags := make([]byte, count)
+	if err := src.readFull(flags, "path flags"); err != nil {
+		return nil, nil, err
+	}
+	nLossy := 0
+	for _, f := range flags {
+		switch f {
+		case pathLossy:
+			nLossy++
+		case pathLossless:
+		default:
+			return nil, nil, ErrCorrupt
+		}
+	}
+
+	// Pipelined receive + decode: the loop below reads section i+1 while
+	// earlier sections decode on the pool. Decode durations accumulate into
+	// decodeWork so OverlapRatio can report how much of that work was
+	// hidden behind reading.
+	type lossyEntry struct {
+		name  string
+		kind  tensor.Kind
+		shape []int
+		elems int
+		data  []float32
+		err   error
+	}
+	entries := make([]lossyEntry, nLossy)
+	var decodeWork atomic.Int64
+	g := pool.Group()
+	for i := 0; i < nLossy; i++ {
+		e := &entries[i]
+		if e.name, err = src.readString("tensor name"); err != nil {
+			g.Wait()
+			return nil, nil, err
+		}
+		var meta [2]byte
+		if err := src.readFull(meta[:], "tensor metadata"); err != nil {
+			g.Wait()
+			return nil, nil, err
+		}
+		e.kind = tensor.Kind(meta[0])
+		rank := int(meta[1])
+		dims := make([]byte, 4*rank)
+		if err := src.readFull(dims, "tensor shape"); err != nil {
+			g.Wait()
+			return nil, nil, err
+		}
+		e.shape = make([]int, rank)
+		e.elems = 1
+		for d := range e.shape {
+			e.shape[d] = int(binary.LittleEndian.Uint32(dims[4*d:]))
+			e.elems *= e.shape[d]
+			if e.elems > ebcl.MaxElements {
+				g.Wait()
+				return nil, nil, fmt.Errorf("%w: tensor %q element count exceeds limit", ErrCorrupt, e.name)
+			}
+		}
+		blob, release, err := src.readSection(fmt.Sprintf("lossy section %q", e.name))
+		if err != nil {
+			g.Wait()
+			return nil, nil, err
+		}
+		g.Go(func() {
+			t0 := time.Now()
+			data, derr := lossy.Decompress(blob)
+			decodeWork.Add(int64(time.Since(t0)))
+			release()
+			if derr != nil {
+				e.err = fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, e.name, derr)
+				return
+			}
+			if len(data) != e.elems {
+				e.err = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
+				return
+			}
+			e.data = data
+		})
+	}
+	restBlob, restRelease, err := src.readSection("metadata section")
+	if err != nil {
+		g.Wait()
+		return nil, nil, err
+	}
+	var rest *tensor.StateDict
+	var restErr error
+	g.Go(func() {
+		t0 := time.Now()
+		restRaw, derr := codec.Decompress(restBlob)
+		restRelease()
+		if derr != nil {
+			decodeWork.Add(int64(time.Since(t0)))
+			restErr = fmt.Errorf("%w: lossless decompress: %w", ErrCorrupt, derr)
+			return
+		}
+		rest, derr = tensor.UnmarshalStateDict(restRaw)
+		decodeWork.Add(int64(time.Since(t0)))
+		sched.PutBytes(restRaw)
+		if derr != nil {
+			restErr = fmt.Errorf("%w: metadata decode: %w", ErrCorrupt, derr)
+		}
+	})
+	g.Wait()
+	if restErr != nil {
+		return nil, nil, restErr
+	}
+	for i := range entries {
+		if entries[i].err != nil {
+			return nil, nil, entries[i].err
+		}
+	}
+
+	// Re-interleave to the original order. Duplicate names (impossible in a
+	// stream Compress produced, StateDict.Add would panic) mark corruption.
+	out := tensor.NewStateDict()
+	li, ri := 0, 0
+	restEntries := rest.Entries()
+	for _, f := range flags {
+		if f == pathLossy {
+			if li >= len(entries) {
+				return nil, nil, ErrCorrupt
+			}
+			e := entries[li]
+			li++
+			if out.Get(e.name) != nil {
+				return nil, nil, fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.name)
+			}
+			out.Add(e.name, e.kind, tensor.FromData(e.data, e.shape...))
+		} else {
+			if ri >= len(restEntries) {
+				return nil, nil, ErrCorrupt
+			}
+			e := restEntries[ri]
+			ri++
+			if out.Get(e.Name) != nil {
+				return nil, nil, fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.Name)
+			}
+			out.Add(e.Name, e.Kind, e.Tensor)
+		}
+	}
+	return out, &DecompressStats{
+		DecompressTime: time.Since(start),
+		ReadWait:       src.wait(),
+		DecodeWork:     time.Duration(decodeWork.Load()),
+	}, nil
+}

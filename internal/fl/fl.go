@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flserve"
+	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -107,6 +109,110 @@ func (t *FedSZTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []ti
 		durs[i] = s.DecompressTime
 	}
 	return sds, durs, nil
+}
+
+// NetTransport is FedSZTransport carried over real loopback TCP: client
+// payloads upload concurrently to an in-process flserve aggregation
+// server, which decodes each tensor while the next is still arriving (see
+// internal/flserve for the pipelining and backpressure model). Where
+// FedSZTransport.DecodeAll measures the batched in-memory path, this
+// transport measures the same round end-to-end on sockets — framing,
+// CRC verification, kernel buffers, and TCP flow control included.
+type NetTransport struct {
+	Opts core.Options
+	// Parallel is the server-side decode budget (0 selects GOMAXPROCS).
+	Parallel int
+	// Link optionally throttles each client's upload to a constrained
+	// uplink (the paper's 10 Mbps edge setting); zero uploads unthrottled.
+	Link netsim.Link
+	// LastStats holds the server's ingest counters from the most recent
+	// DecodeAll, including the decode/receive overlap ratio. It is written
+	// only as DecodeAll returns; read it after the round, not concurrently
+	// with one.
+	LastStats flserve.Stats
+}
+
+// NewNetTransport wraps pipeline options as a socket-backed transport.
+func NewNetTransport(opts core.Options) *NetTransport {
+	return &NetTransport{Opts: opts}
+}
+
+// Name implements Transport.
+func (t *NetTransport) Name() string { return "fedsz+tcp" }
+
+// Encode implements Transport.
+func (t *NetTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
+	payload, stats, err := core.Compress(sd, t.Opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, stats.RawBytes, nil
+}
+
+// Decode implements Transport (the in-memory fallback for single payloads).
+func (t *NetTransport) Decode(p []byte) (*tensor.StateDict, error) {
+	sd, _, err := core.Decompress(p)
+	return sd, err
+}
+
+// DecodeAll implements BatchTransport: it starts an ephemeral aggregation
+// server on a loopback socket, uploads every payload concurrently (client
+// i carries ID i), and returns the decoded dicts in payload order. Results
+// are bit-identical to Decode on each payload. The returned durations
+// report each payload's own decode cost (wall clock minus time blocked on
+// the socket), preserving the per-client accounting of paper Figure 6.
+func (t *NetTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
+	results := make([]*tensor.StateDict, len(payloads))
+	durs := make([]time.Duration, len(payloads))
+	var mu sync.Mutex
+	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{
+		Parallel: t.Parallel,
+		Handler: func(u flserve.Update) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if int(u.Client) >= len(results) || results[u.Client] != nil {
+				return fmt.Errorf("fl: unexpected client id %d", u.Client)
+			}
+			results[u.Client] = u.State
+			d := u.Stats.DecompressTime - u.Stats.ReadWait
+			if d < u.Stats.DecodeWork {
+				d = u.Stats.DecodeWork
+			}
+			durs[u.Client] = d
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	addr := srv.Addr().String()
+	upErrs := make([]error, len(payloads))
+	var wg sync.WaitGroup
+	for i, p := range payloads {
+		wg.Add(1)
+		go func(i int, p []byte) {
+			defer wg.Done()
+			c := &flserve.Client{Addr: addr, Link: t.Link}
+			upErrs[i] = c.Upload(uint32(i), p)
+		}(i, p)
+	}
+	wg.Wait()
+	closeErr := srv.Close()
+	for i, err := range upErrs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: net upload client %d: %w", i, err)
+		}
+	}
+	if closeErr != nil {
+		return nil, nil, closeErr
+	}
+	for i, sd := range results {
+		if sd == nil {
+			return nil, nil, fmt.Errorf("fl: client %d update never arrived", i)
+		}
+	}
+	t.LastStats = srv.Stats()
+	return results, durs, nil
 }
 
 // Client is one FedAvg participant: a local model, a data shard, and an

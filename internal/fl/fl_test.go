@@ -1,7 +1,9 @@
 package fl
 
 import (
+	"bytes"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -10,13 +12,12 @@ import (
 	"repro/internal/nn/models"
 )
 
-// buildFederation assembles a 4-client federation (the paper's client
+// newTestFederation assembles a 4-client federation (the paper's client
 // count) on a scaled CIFAR10-like task.
-func buildFederation(t *testing.T, transport Transport, seed uint64) *Federation {
-	t.Helper()
+func newTestFederation(transport Transport, seed uint64) (*Federation, error) {
 	cfg, err := dataset.ScaledConfig("cifar10", 12, 192, 64, seed)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	train, test := dataset.Generate(cfg)
 	shards := dataset.ShardIID(train, 4, seed)
@@ -24,18 +25,79 @@ func buildFederation(t *testing.T, transport Transport, seed uint64) *Federation
 	rng := rand.New(rand.NewPCG(seed, 1))
 	global, err := models.BuildMini("alexnet", rng, in)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	clients := make([]*Client, 4)
 	for i := range clients {
 		crng := rand.New(rand.NewPCG(seed, uint64(i)+10))
 		net, err := models.BuildMini("alexnet", crng, in)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		clients[i] = NewClient(i, net, shards[i], 16, 0.02, seed)
 	}
-	return NewFederation(global, clients, transport, test)
+	return NewFederation(global, clients, transport, test), nil
+}
+
+func buildFederation(t *testing.T, transport Transport, seed uint64) *Federation {
+	t.Helper()
+	fed, err := newTestFederation(transport, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+// convergenceRounds is the fixture's round count: enough for the FedAvg
+// convergence assertions, shared by every multi-round test below.
+const convergenceRounds = 12
+
+// convergenceFixture caches one raw and one FedSZ federation run at seed
+// 42 so the three multi-round convergence tests train once instead of
+// four times — the shared model/dataset fixture that keeps the full
+// (non-short) suite fast. Tests only read from it.
+type convergenceFixture struct {
+	rawInitial float64
+	raw        []*RoundResult
+	fedszTr    *FedSZTransport
+	fedsz      []*RoundResult
+	err        error
+}
+
+var convergence = sync.OnceValue(func() *convergenceFixture {
+	fx := &convergenceFixture{}
+	fedRaw, err := newTestFederation(RawTransport{}, 42)
+	if err != nil {
+		fx.err = err
+		return fx
+	}
+	fx.rawInitial = fedRaw.Evaluate()
+	if fx.raw, err = fedRaw.Run(convergenceRounds, 1); err != nil {
+		fx.err = err
+		return fx
+	}
+	fx.fedszTr = NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	fedSZ, err := newTestFederation(fx.fedszTr, 42)
+	if err != nil {
+		fx.err = err
+		return fx
+	}
+	fx.fedsz, fx.err = fedSZ.Run(convergenceRounds, 1)
+	return fx
+})
+
+// convergenceFx returns the shared fixture, skipping in short mode (the
+// smoke tests cover the round pipeline there).
+func convergenceFx(t *testing.T) *convergenceFixture {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-round convergence fixture; TestRoundPipelineSmoke covers the short suite")
+	}
+	fx := convergence()
+	if fx.err != nil {
+		t.Fatal(fx.err)
+	}
+	return fx
 }
 
 func TestRawTransportRoundTrip(t *testing.T) {
@@ -61,21 +123,13 @@ func TestRawTransportRoundTrip(t *testing.T) {
 }
 
 func TestFedAvgImprovesAccuracy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-round convergence test; TestRoundPipelineSmoke covers the short suite")
-	}
-	fed := buildFederation(t, RawTransport{}, 42)
-	initial := fed.Evaluate()
-	results, err := fed.Run(4, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	final := results[len(results)-1].Accuracy
-	if final < initial+0.2 {
-		t.Fatalf("accuracy %f -> %f: FedAvg did not learn", initial, final)
+	fx := convergenceFx(t)
+	final := fx.raw[len(fx.raw)-1].Accuracy
+	if final < fx.rawInitial+0.2 {
+		t.Fatalf("accuracy %f -> %f: FedAvg did not learn", fx.rawInitial, final)
 	}
 	// Timing and byte accounting sanity.
-	r := results[0]
+	r := fx.raw[0]
 	if r.RawBytes <= 0 || r.WireBytes <= 0 {
 		t.Fatal("byte accounting missing")
 	}
@@ -89,16 +143,8 @@ func TestFedAvgImprovesAccuracy(t *testing.T) {
 }
 
 func TestFedSZTransportShrinksUpdatesAndPreservesLearning(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-round convergence test; TestRoundPipelineSmoke covers the short suite")
-	}
-	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
-	fed := buildFederation(t, tr, 42)
-	results, err := fed.Run(8, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := results[0]
+	fx := convergenceFx(t)
+	r := fx.fedsz[0]
 	ratio := float64(r.RawBytes) / float64(r.WireBytes)
 	if ratio < 3 {
 		t.Errorf("wire ratio %.2f, want >= 3", ratio)
@@ -106,37 +152,24 @@ func TestFedSZTransportShrinksUpdatesAndPreservesLearning(t *testing.T) {
 	if r.Timings.Compress <= 0 || r.Timings.Decompress <= 0 {
 		t.Error("compression timings missing")
 	}
-	final := results[len(results)-1].Accuracy
+	final := fx.fedsz[len(fx.fedsz)-1].Accuracy
 	if final < 0.5 {
 		t.Errorf("compressed federation accuracy %.2f, want >= 0.5", final)
 	}
-	if tr.LastStats == nil || tr.LastStats.Ratio() < 3 {
+	if fx.fedszTr.LastStats == nil || fx.fedszTr.LastStats.Ratio() < 3 {
 		t.Error("transport stats not recorded")
 	}
 }
 
 func TestCompressedMatchesUncompressedWithinHalfPercentShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("two full federations at 12 rounds each; skipped in short mode")
-	}
+	fx := convergenceFx(t)
 	// The paper's headline claim at REL 1e-2: compressed accuracy within
 	// ~0.5% of uncompressed after 50 rounds. At this micro scale (12 px,
 	// 12 rounds) training noise is larger than 0.5%, so assert a loose
 	// band (10 points at convergence) — the experiments harness runs the
 	// full version.
-	fedRaw := buildFederation(t, RawTransport{}, 7)
-	rawRes, err := fedRaw.Run(12, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr := NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
-	fedSZ := buildFederation(t, tr, 7)
-	szRes, err := fedSZ.Run(12, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rawAcc := rawRes[len(rawRes)-1].Accuracy
-	szAcc := szRes[len(szRes)-1].Accuracy
+	rawAcc := fx.raw[len(fx.raw)-1].Accuracy
+	szAcc := fx.fedsz[len(fx.fedsz)-1].Accuracy
 	if rawAcc-szAcc > 0.10 {
 		t.Errorf("compression cost %.3f accuracy (raw %.3f, fedsz %.3f)", rawAcc-szAcc, rawAcc, szAcc)
 	}
@@ -182,6 +215,7 @@ func TestRoundPipelineSmoke(t *testing.T) {
 	}{
 		{"raw", RawTransport{}},
 		{"fedsz", NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})},
+		{"fedsz+tcp", NewNetTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			fed := smokeFederation(t, tc.transport, 42)
@@ -243,6 +277,71 @@ func TestBatchDecodeMatchesPerPayload(t *testing.T) {
 		if err != nil || d != 0 {
 			t.Fatalf("payload %d: batch decode differs (d=%v err=%v)", i, d, err)
 		}
+	}
+}
+
+// TestNetTransportMatchesInMemoryDecode: the loopback-socket batch path
+// must produce state dicts bit-identical to per-payload in-memory decode.
+func TestNetTransportMatchesInMemoryDecode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	nt := NewNetTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	var bt BatchTransport = nt // compile-time: NetTransport batches
+
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		net, err := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i], _, err = nt.Encode(net.StateDict())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, durs, err := bt.DecodeAll(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(durs) != len(payloads) {
+		t.Fatalf("got %d durations for %d payloads", len(durs), len(payloads))
+	}
+	for i, d := range durs {
+		if d <= 0 {
+			t.Fatalf("payload %d: non-positive decode duration %v", i, d)
+		}
+	}
+	for i, p := range payloads {
+		single, err := nt.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch[i].Marshal(), single.Marshal()) {
+			t.Fatalf("payload %d: socket decode not bit-identical to in-memory decode", i)
+		}
+	}
+	if st := nt.LastStats; st.Updates != len(payloads) || st.Rejected != 0 {
+		t.Fatalf("server stats %+v", st)
+	}
+}
+
+// TestNetTransportRejectsCorruptPayload: a damaged upload must fail the
+// round cleanly rather than fold garbage.
+func TestNetTransportRejectsCorruptPayload(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	nt := NewNetTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	net, err := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _, err := nt.Encode(net.StateDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation is guaranteed-detectable corruption (a mid-payload bit
+	// flip may land in don't-care bytes and decode to garbage values).
+	bad := append([]byte(nil), good[:len(good)-7]...)
+	if _, _, err := nt.DecodeAll([][]byte{good, bad}); err == nil {
+		t.Fatal("corrupt payload decoded without error")
 	}
 }
 

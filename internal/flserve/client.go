@@ -1,0 +1,75 @@
+package flserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Client uploads FedSZ-compressed updates to an aggregation server.
+type Client struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Link optionally shapes the uplink to a constrained bandwidth (the
+	// paper's 10 Mbps edge setting); the zero value uploads unthrottled.
+	Link netsim.Link
+}
+
+// Upload sends one compressed update (a serialized FedSZ stream) under the
+// given client ID and waits for the server's ack: a nil return means the
+// server decoded and folded the update.
+func (c *Client) Upload(clientID uint32, stream []byte) error {
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return fmt.Errorf("flserve: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+
+	var dst io.Writer = conn
+	if c.Link.BandwidthMbps > 0 {
+		dst = c.Link.ThrottleWriter(conn)
+	}
+	bw := bufio.NewWriterSize(dst, 64<<10)
+	var prelude [8]byte
+	binary.LittleEndian.PutUint32(prelude[:], connMagic)
+	binary.LittleEndian.PutUint32(prelude[4:], clientID)
+	if _, err := bw.Write(prelude[:]); err != nil {
+		return fmt.Errorf("flserve: upload prelude: %w", err)
+	}
+	if err := wire.NewWriter(bw).WriteStream(stream); err != nil {
+		return fmt.Errorf("flserve: upload: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flserve: upload flush: %w", err)
+	}
+	return readAck(conn)
+}
+
+// Upload is shorthand for an unthrottled single upload to addr.
+func Upload(addr string, clientID uint32, stream []byte) error {
+	return (&Client{Addr: addr}).Upload(clientID, stream)
+}
+
+func readAck(conn net.Conn) error {
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return fmt.Errorf("flserve: reading ack: %w", err)
+	}
+	if status[0] == 0 {
+		return nil
+	}
+	var msgLen [2]byte
+	if _, err := io.ReadFull(conn, msgLen[:]); err != nil {
+		return fmt.Errorf("flserve: server rejected update")
+	}
+	msg := make([]byte, binary.LittleEndian.Uint16(msgLen[:]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		return fmt.Errorf("flserve: server rejected update")
+	}
+	return fmt.Errorf("flserve: server rejected update: %s", msg)
+}

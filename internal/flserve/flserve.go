@@ -1,0 +1,374 @@
+// Package flserve implements the streaming side of the paper's
+// aggregation-server scenario (Eqn 1, Figures 6–9): a TCP server that
+// ingests many concurrent FedSZ-compressed client updates, decoding each
+// tensor while the next is still crossing the network, and folding
+// finished updates incrementally into a FedAvg accumulator.
+//
+// # Connection protocol
+//
+// One update per connection:
+//
+//	client → server: magic(u32 "FLS1") clientID(u32) wireStream
+//	server → client: status(u8) [msgLen(u16) msg]    (status 0 = accepted)
+//
+// wireStream is the internal/wire framing of a FedSZ stream; the ack is
+// written only after the update has been decoded, verified, and handed to
+// the handler, so a successful Upload means the server has durably folded
+// the update.
+//
+// # Pipelining and backpressure
+//
+// Each connection pipes its socket through wire.Reader (per-frame CRC
+// verification) into core.DecompressFrom, which submits every fully
+// received tensor blob to the server's shared sched.Pool and immediately
+// resumes reading. Decode therefore overlaps receive on every connection,
+// while total decode parallelism across all connections stays at the
+// configured budget. Backpressure is layered:
+//
+//   - Config.MaxConns bounds concurrent connections (the accept loop holds
+//     a slot before accepting), so peak memory is O(MaxConns × frame)
+//     plus in-flight decodes — never O(clients × model).
+//   - When the decode pool is saturated, the connection goroutine decodes
+//     inline instead of reading, which stops draining the socket and lets
+//     TCP flow control push back on the sender.
+package flserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+const (
+	connMagic = 0x464C5331 // "FLS1"
+	// ackMsgLimit truncates error messages echoed to clients.
+	ackMsgLimit = 512
+)
+
+// Update is one decoded client update delivered to the handler.
+type Update struct {
+	// Client is the ID the uploader sent in its connection prelude.
+	Client uint32
+	// State is the decoded state dict; the handler takes ownership.
+	State *tensor.StateDict
+	// WireBytes counts the raw socket bytes the update consumed (prelude
+	// plus framing plus payload).
+	WireBytes int64
+	// Stats carries the streaming decode's timing, including ReadWait and
+	// DecodeWork for overlap accounting.
+	Stats core.DecompressStats
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Parallel is the decode budget shared across every connection
+	// (0 selects GOMAXPROCS) — the same one-budget discipline as
+	// core.DecompressAll, now fed by sockets.
+	Parallel int
+	// MaxConns bounds concurrently served connections (0 selects
+	// 4×GOMAXPROCS). The accept loop blocks when the bound is reached.
+	MaxConns int
+	// Handler receives each successfully decoded update. It may be called
+	// concurrently from different connections; an error rejects the update
+	// (the client sees a non-zero ack) without stopping the server.
+	// Required.
+	Handler func(Update) error
+	// IdleTimeout bounds how long a connection may sit without delivering
+	// a byte before it is dropped, so a stalled client cannot pin a
+	// MaxConns slot forever (0 selects 2 minutes; negative disables). The
+	// deadline is refreshed on every read, so slow-but-moving uploads are
+	// unaffected.
+	IdleTimeout time.Duration
+}
+
+// defaultIdleTimeout is Config.IdleTimeout's zero-value default.
+const defaultIdleTimeout = 2 * time.Minute
+
+// Stats aggregates what a Server has ingested so far.
+type Stats struct {
+	// Updates counts successfully decoded, handled updates.
+	Updates int
+	// Rejected counts connections that failed protocol, decode, or handler.
+	Rejected int
+	// WireBytes sums raw socket bytes across accepted updates.
+	WireBytes int64
+	// ReadWait, DecodeWork, and Wall sum the corresponding per-update
+	// decode timings (Wall is summed per-connection wall clock, not server
+	// uptime).
+	ReadWait   time.Duration
+	DecodeWork time.Duration
+	Wall       time.Duration
+}
+
+// OverlapRatio reports the fraction of decode work hidden behind reading
+// (and other tensors' decodes), aggregated over all ingested updates — the
+// pipelining payoff: 0 means receive-then-decode, 1 means decode fully
+// overlapped with receive.
+func (s Stats) OverlapRatio() float64 {
+	if s.DecodeWork <= 0 {
+		return 0
+	}
+	hidden := s.ReadWait + s.DecodeWork - s.Wall
+	switch {
+	case hidden <= 0:
+		return 0
+	case hidden >= s.DecodeWork:
+		return 1
+	}
+	return float64(hidden) / float64(s.DecodeWork)
+}
+
+// Server is a streaming FedSZ aggregation server.
+type Server struct {
+	cfg  Config
+	ln   net.Listener
+	pool *sched.Pool
+	sem  chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	stats  Stats
+	closed bool
+}
+
+// Listen starts a server on a TCP address ("127.0.0.1:0" picks a free
+// port; Addr reports it).
+func Listen(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flserve: %w", err)
+	}
+	return Serve(ln, cfg), nil
+}
+
+// Serve starts a server on an existing listener and takes ownership of it.
+func Serve(ln net.Listener, cfg Config) *Server {
+	if cfg.Handler == nil {
+		panic("flserve: Config.Handler is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 4 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.IdleTimeout == 0:
+		cfg.IdleTimeout = defaultIdleTimeout
+	case cfg.IdleTimeout < 0:
+		cfg.IdleTimeout = 0
+	}
+	s := &Server{
+		cfg:  cfg,
+		ln:   ln,
+		pool: sched.NewPool(cfg.Parallel),
+		sem:  make(chan struct{}, cfg.MaxConns),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats returns a snapshot of the ingest counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops accepting, waits for in-flight connections to finish, and
+// returns the listener's close error, if any.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// acceptLoop admits connections under the MaxConns bound: the slot is
+// taken before Accept, so the listener's backlog — not server memory —
+// absorbs bursts beyond the bound.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		s.sem <- struct{}{}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (fd exhaustion, aborted handshake):
+			// back off briefly instead of spinning on a persistent error.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// connReader counts raw socket bytes for the WireBytes accounting and
+// refreshes the idle deadline before each read, so only a connection that
+// stops delivering bytes for the whole timeout gets dropped.
+type connReader struct {
+	conn net.Conn
+	idle time.Duration
+	n    int64
+}
+
+func (c *connReader) Read(p []byte) (int, error) {
+	if c.idle > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.conn.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	start := time.Now()
+	cr := &connReader{conn: conn, idle: s.cfg.IdleTimeout}
+	br := bufio.NewReaderSize(cr, 32<<10)
+
+	u, err := s.ingest(br)
+	if err == nil {
+		u.WireBytes = cr.n
+		err = s.cfg.Handler(*u)
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.stats.Rejected++
+	} else {
+		s.stats.Updates++
+		s.stats.WireBytes += u.WireBytes
+		s.stats.ReadWait += u.Stats.ReadWait
+		s.stats.DecodeWork += u.Stats.DecodeWork
+		s.stats.Wall += time.Since(start)
+	}
+	s.mu.Unlock()
+	writeAck(conn, err)
+}
+
+// ingest reads one update off the connection: prelude, wire-framed FedSZ
+// stream (decoded incrementally on the shared pool), trailer verification.
+func (s *Server) ingest(br *bufio.Reader) (*Update, error) {
+	var prelude [8]byte
+	if _, err := io.ReadFull(br, prelude[:]); err != nil {
+		return nil, fmt.Errorf("%w: connection prelude: %v", core.ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(prelude[:]) != connMagic {
+		return nil, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt)
+	}
+	client := binary.LittleEndian.Uint32(prelude[4:])
+
+	wr := wire.NewReader(br)
+	sd, dstats, err := core.DecompressFromWith(s.pool, wr)
+	if err != nil {
+		wr.Close()
+		return nil, err
+	}
+	// The decoder consumes exactly the logical stream; the wire trailer
+	// (frame counts + whole-stream CRC) may still be pending. Drain to EOF
+	// so an update is only ever acked after its trailer verified.
+	if _, err := io.Copy(io.Discard, wr); err != nil {
+		wr.Close()
+		return nil, err
+	}
+	wr.Close()
+	return &Update{Client: client, State: sd, Stats: *dstats}, nil
+}
+
+func writeAck(conn net.Conn, err error) {
+	if err == nil {
+		conn.Write([]byte{0}) //nolint:errcheck — client failure is its problem
+		return
+	}
+	msg := err.Error()
+	if len(msg) > ackMsgLimit {
+		msg = msg[:ackMsgLimit]
+	}
+	buf := make([]byte, 0, 3+len(msg))
+	buf = append(buf, 1)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	conn.Write(buf) //nolint:errcheck
+}
+
+// Aggregator is a Handler target that folds updates incrementally into a
+// FedAvg sum — each update is added and released as it completes, so peak
+// memory is one accumulator plus in-flight decodes, independent of client
+// count.
+type Aggregator struct {
+	mu  sync.Mutex
+	sum *tensor.StateDict
+	n   int
+}
+
+// Add folds one update into the accumulator; it is the Handler for an
+// aggregating server. The first update defines the expected structure.
+func (a *Aggregator) Add(u Update) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sum == nil {
+		a.sum = u.State
+		a.n = 1
+		return nil
+	}
+	if err := a.sum.AddScaled(u.State, 1); err != nil {
+		return fmt.Errorf("flserve: aggregate client %d: %w", u.Client, err)
+	}
+	a.n++
+	return nil
+}
+
+// Count returns the number of folded updates.
+func (a *Aggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// Mean returns the FedAvg mean of the folded updates (a copy) and their
+// count; nil and 0 before the first update.
+func (a *Aggregator) Mean() (*tensor.StateDict, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sum == nil {
+		return nil, 0
+	}
+	out := a.sum.Clone()
+	out.Scale(1 / float32(a.n))
+	return out, a.n
+}

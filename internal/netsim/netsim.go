@@ -7,6 +7,7 @@ package netsim
 
 import (
 	"fmt"
+	"io"
 	"time"
 )
 
@@ -34,6 +35,57 @@ func (l Link) TransmitTime(bytes int) time.Duration {
 	}
 	seconds := float64(bytes*8)/(l.BandwidthMbps*1e6) + l.LatencyMs/1e3
 	return time.Duration(seconds * float64(time.Second))
+}
+
+// ThrottleWriter wraps w so sustained throughput approximates the link's
+// bandwidth, with the link latency charged once up front. Where the rest
+// of this package accounts transfer time analytically on a virtual clock,
+// a throttled writer spends real wall-clock time — it is the bridge
+// between the analytic model and the streaming transport (internal/wire,
+// internal/flserve): wrapping a client's socket in one emulates the
+// paper's constrained uplinks on a real connection, so decode-under-
+// receive overlap can be measured end-to-end instead of modeled.
+func (l Link) ThrottleWriter(w io.Writer) io.Writer {
+	if l.BandwidthMbps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive bandwidth %g", l.BandwidthMbps))
+	}
+	return &throttledWriter{w: w, link: l}
+}
+
+// throttleChunk keeps individual sleeps short so pacing is smooth rather
+// than bursty (16 KiB at 10 Mbps ≈ 13 ms per chunk).
+const throttleChunk = 16 << 10
+
+type throttledWriter struct {
+	w    io.Writer
+	link Link
+	// next is the virtual send clock: the real time before which the next
+	// chunk must not complete.
+	next time.Time
+}
+
+func (t *throttledWriter) Write(p []byte) (int, error) {
+	if t.next.IsZero() {
+		t.next = time.Now().Add(time.Duration(t.link.LatencyMs * float64(time.Millisecond)))
+	}
+	written := 0
+	for written < len(p) {
+		chunk := min(len(p)-written, throttleChunk)
+		// Charge the chunk's transmission time on the virtual clock, then
+		// sleep until the clock catches up. Accumulating on `next` (rather
+		// than sleeping per chunk) keeps long-run throughput exact even
+		// though individual sleeps overshoot.
+		t.next = t.next.Add(time.Duration(float64(chunk*8) / (t.link.BandwidthMbps * 1e6) * float64(time.Second)))
+		if d := time.Until(t.next); d > 0 {
+			time.Sleep(d)
+		}
+		n, err := t.w.Write(p[written : written+chunk])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // Decision is the outcome of the Eqn-1 test.

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"time"
@@ -125,4 +126,49 @@ func TestSimulateRoundValidation(t *testing.T) {
 		}
 	}()
 	SimulateRound(ClientProfile{}, 1, 0, EdgeLink)
+}
+
+func TestThrottleWriterPacesThroughput(t *testing.T) {
+	// 250 KB at 100 Mbps is 20 ms of transmission; assert the write takes
+	// at least half of that (generous slack for coarse sleep timers) and
+	// delivers every byte intact.
+	link := Link{BandwidthMbps: 100}
+	var buf bytes.Buffer
+	w := link.ThrottleWriter(&buf)
+	payload := make([]byte, 250_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	t0 := time.Now()
+	n, err := w.Write(payload)
+	elapsed := time.Since(t0)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("throttled writer corrupted the payload")
+	}
+	want := link.TransmitTime(len(payload))
+	if elapsed < want/2 {
+		t.Fatalf("250 KB at 100 Mbps took %v, want >= %v", elapsed, want/2)
+	}
+}
+
+func TestThrottleWriterChargesLatencyOnce(t *testing.T) {
+	link := Link{BandwidthMbps: 10_000, LatencyMs: 30}
+	var buf bytes.Buffer
+	w := link.ThrottleWriter(&buf)
+	t0 := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(t0)
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not charged: %v", elapsed)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("latency charged per write, not once: %v", elapsed)
+	}
 }

@@ -18,6 +18,7 @@
 package sched
 
 import (
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,49 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Group schedules independent tasks against the pool's helper budget
+// without a barrier between submissions — the pipelining primitive behind
+// decode-while-receiving: a reader goroutine submits tensor i's decode and
+// immediately returns to reading tensor i+1 from the network.
+//
+// Go follows the same caller-runs discipline as ForEach: it never blocks
+// waiting for a token. When the budget is exhausted the submitting
+// goroutine runs the task inline, which stalls submission — exactly the
+// backpressure a streaming ingester wants (the socket read pauses, TCP
+// flow control pushes back on the sender) — and keeps nested use
+// deadlock-free.
+type Group struct {
+	p  *Pool
+	wg sync.WaitGroup
+}
+
+// Group returns a new task group drawing helpers from p (nil runs every
+// task inline).
+func (p *Pool) Group() *Group { return &Group{p: p} }
+
+// Go runs fn on a helper goroutine when a budget token is free, otherwise
+// inline on the calling goroutine. It never blocks waiting for capacity.
+func (g *Group) Go(fn func()) {
+	if g.p != nil && cap(g.p.sem) > 0 {
+		select {
+		case g.p.sem <- struct{}{}:
+			g.wg.Add(1)
+			go func() {
+				defer g.wg.Done()
+				defer func() { <-g.p.sem }()
+				fn()
+			}()
+			return
+		default:
+		}
+	}
+	fn()
+}
+
+// Wait blocks until every task submitted so far has finished. Go may be
+// called again afterwards; Wait must not run concurrently with Go.
+func (g *Group) Wait() { g.wg.Wait() }
+
 // maxPooledBytes caps what the buffer pools retain so a one-off giant
 // model does not pin its buffers forever (64 MiB ≈ a 16 M-parameter
 // partition, well above the per-tensor sizes the pipeline sees).
@@ -135,6 +179,36 @@ func PutBytes(b []byte) {
 	bp := bytePool.Get().(*[]byte)
 	*bp = b
 	bytePool.Put(bp)
+}
+
+// readChunk is ReadFullPooled's growth step: allocation tracks bytes
+// actually received, so a hostile length prefix cannot force a large
+// up-front allocation.
+const readChunk = 1 << 20
+
+// ReadFullPooled reads exactly n bytes from r into a pooled buffer,
+// growing it chunk-by-chunk with the data received — the untrusted-length
+// receive discipline shared by the stream decoder and the wire de-framer.
+// On success the caller owns the buffer and should recycle it via
+// PutBytes; on error the buffer has already been recycled.
+func ReadFullPooled(r io.Reader, n int) ([]byte, error) {
+	buf := GetBytes(min(n, readChunk))
+	for len(buf) < n {
+		chunk := min(n-len(buf), readChunk)
+		if cap(buf) < len(buf)+chunk {
+			grown := GetBytes(max(2*cap(buf), len(buf)+chunk))
+			grown = append(grown, buf...)
+			PutBytes(buf)
+			buf = grown
+		}
+		read := len(buf)
+		buf = buf[:read+chunk]
+		if _, err := io.ReadFull(r, buf[read:]); err != nil {
+			PutBytes(buf)
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 var floatPool = sync.Pool{New: func() any { return new([]float32) }}

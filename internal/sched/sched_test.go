@@ -87,6 +87,89 @@ func TestSharedBudgetAcrossGoroutines(t *testing.T) {
 	}
 }
 
+func TestGroupRunsEveryTask(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		p := NewPool(par)
+		g := p.Group()
+		var total atomic.Int64
+		for i := 0; i < 300; i++ {
+			g.Go(func() { total.Add(1) })
+		}
+		g.Wait()
+		if total.Load() != 300 {
+			t.Fatalf("par=%d: ran %d of 300 tasks", par, total.Load())
+		}
+	}
+}
+
+func TestGroupNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	g := p.Group()
+	sum := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() { sum += i }) // no race: must run on caller
+	}
+	g.Wait()
+	if sum != 45 {
+		t.Fatalf("sum %d", sum)
+	}
+}
+
+func TestGroupStaysWithinBudget(t *testing.T) {
+	const par = 3
+	p := NewPool(par)
+	g := p.Group()
+	var cur, peak atomic.Int32
+	for i := 0; i < 200; i++ {
+		g.Go(func() {
+			c := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if c <= pk || peak.CompareAndSwap(pk, c) {
+					break
+				}
+			}
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+			cur.Add(-1)
+		})
+	}
+	g.Wait()
+	if pk := peak.Load(); pk > par {
+		t.Fatalf("peak concurrency %d exceeds budget %d", pk, par)
+	}
+}
+
+func TestGroupNestedInForEachDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	p.ForEach(8, func(i int) {
+		g := p.Group()
+		for j := 0; j < 8; j++ {
+			g.Go(func() { total.Add(1) })
+		}
+		g.Wait()
+	})
+	if total.Load() != 64 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
+func TestGroupReusableAfterWait(t *testing.T) {
+	p := NewPool(4)
+	g := p.Group()
+	var total atomic.Int64
+	g.Go(func() { total.Add(1) })
+	g.Wait()
+	g.Go(func() { total.Add(1) })
+	g.Wait()
+	if total.Load() != 2 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
 func TestBytePoolRoundTrip(t *testing.T) {
 	b := GetBytes(100)
 	if len(b) != 0 || cap(b) < 100 {

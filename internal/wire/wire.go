@@ -1,0 +1,332 @@
+// Package wire defines the length-framed, CRC-checked transport encoding
+// that carries FedSZ streams over sockets.
+//
+// A wire stream is a fixed preamble followed by a sequence of frames:
+//
+//	Stream   := magic(u32 "FWR1") version(u8) Frame* TrailerFrame
+//	Frame    := kind(u8) payloadLen(u32) payload crc(u32)
+//
+// All integers are little-endian. Each frame's crc is CRC-32 (IEEE) over
+// kind, payloadLen, and payload, so corruption is caught frame-by-frame —
+// before a damaged payload ever reaches the decoder. Frame kinds mirror
+// the FedSZ stream's section layout (core.Sections):
+//
+//	FrameHeader   — the stream preamble through the path flags
+//	FrameTensor   — one lossy tensor: name, kind, shape, compressed blob
+//	FrameLossless — the lossless-partition section
+//	FrameTrailer  — frame count, total payload bytes, whole-stream CRC
+//
+// The payload concatenation of the header/tensor/lossless frames is
+// byte-for-byte the in-memory FedSZ stream, so Reader implements io.Reader
+// over exactly that byte sequence and composes directly with
+// core.DecompressFrom: the receiver decodes tensor i while frame i+1 is
+// still crossing the network. The trailer carries a redundant whole-stream
+// CRC and byte/frame counts, so truncation at a frame boundary — which
+// per-frame CRCs cannot see — is also detected.
+//
+// Framing at tensor granularity (rather than one giant frame) is what
+// bounds receiver memory: a conforming receiver needs one frame plus the
+// decode in flight, never the whole update.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Frame kinds.
+const (
+	FrameHeader   = 0x01
+	FrameTensor   = 0x02
+	FrameLossless = 0x03
+	FrameTrailer  = 0x04
+)
+
+const (
+	streamMagic   = 0x46575231 // "FWR1"
+	streamVersion = 1
+
+	frameHeaderLen = 5  // kind + payloadLen
+	trailerLen     = 16 // frames(u32) + payloadBytes(u64) + streamCRC(u32)
+
+	// maxFramePayload bounds a declared frame length. Receive buffers grow
+	// with bytes actually received (sched.ReadFullPooled), so this is a
+	// sanity cap, not an allocation bound.
+	maxFramePayload = 1 << 30
+)
+
+// corruptf wraps a framing violation as core.ErrCorrupt so transport and
+// codec corruption surface through one sentinel.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: wire: %s", core.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Writer emits a wire stream onto w. Frames may be written directly with
+// WriteFrame, or a whole FedSZ stream at once with WriteStream. Close
+// writes the trailer; a stream without its trailer is corrupt by
+// definition, so senders must Close on success and just drop the
+// connection on failure.
+type Writer struct {
+	w            io.Writer
+	started      bool
+	closed       bool
+	frames       uint32
+	payloadBytes uint64
+	streamCRC    uint32
+	scratch      []byte
+}
+
+// NewWriter returns a Writer emitting to w. Callers writing to an
+// unbuffered destination (e.g. a net.Conn) should wrap it in a
+// bufio.Writer and flush after Close.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame emits one frame. The preamble is written before the first
+// frame.
+func (w *Writer) WriteFrame(kind byte, payload []byte) error {
+	if w.closed {
+		return fmt.Errorf("wire: write after Close")
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
+	}
+	if !w.started {
+		var pre [5]byte
+		binary.LittleEndian.PutUint32(pre[:], streamMagic)
+		pre[4] = streamVersion
+		if _, err := w.w.Write(pre[:]); err != nil {
+			return fmt.Errorf("wire: preamble: %w", err)
+		}
+		w.started = true
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+
+	// One Write per frame: header + payload + crc assembled in a reused
+	// scratch buffer, so small frames do not cost three syscalls each.
+	need := frameHeaderLen + len(payload) + 4
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, 0, need)
+	}
+	buf := w.scratch[:0]
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	w.scratch = buf[:0]
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("wire: frame: %w", err)
+	}
+	if kind != FrameTrailer {
+		w.frames++
+		w.payloadBytes += uint64(len(payload))
+		w.streamCRC = crc32.Update(w.streamCRC, crc32.IEEETable, payload)
+	}
+	return nil
+}
+
+// Close writes the trailer frame. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	var payload [trailerLen]byte
+	binary.LittleEndian.PutUint32(payload[0:], w.frames)
+	binary.LittleEndian.PutUint64(payload[4:], w.payloadBytes)
+	binary.LittleEndian.PutUint32(payload[12:], w.streamCRC)
+	if err := w.WriteFrame(FrameTrailer, payload[:]); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+// WriteStream frames a complete serialized FedSZ stream — one header
+// frame, one frame per lossy tensor, one lossless frame — and closes with
+// the trailer. The receiver-side payload concatenation reproduces stream
+// exactly.
+func (w *Writer) WriteStream(stream []byte) error {
+	secs, err := core.Sections(stream)
+	if err != nil {
+		return fmt.Errorf("wire: split stream: %w", err)
+	}
+	if err := w.WriteFrame(FrameHeader, secs.Header); err != nil {
+		return err
+	}
+	for _, ts := range secs.Tensors {
+		if err := w.WriteFrame(FrameTensor, ts); err != nil {
+			return err
+		}
+	}
+	if err := w.WriteFrame(FrameLossless, secs.Lossless); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Reader de-frames a wire stream from r, implementing io.Reader over the
+// reassembled payload byte sequence (the FedSZ stream). Every frame's CRC
+// is verified before any of its bytes are surfaced, and the trailer's
+// stream-level CRC and counts are verified before the final io.EOF, so a
+// caller that reaches io.EOF has read an intact stream. All framing
+// violations wrap core.ErrCorrupt.
+type Reader struct {
+	r            io.Reader
+	started      bool
+	done         bool
+	err          error
+	buf          []byte // current frame payload (pooled)
+	off          int
+	frames       uint32
+	payloadBytes uint64
+	streamCRC    uint32
+}
+
+// NewReader returns a Reader de-framing from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Frames returns the number of payload-bearing frames consumed so far.
+func (r *Reader) Frames() int { return int(r.frames) }
+
+// PayloadBytes returns the reassembled payload bytes consumed so far.
+func (r *Reader) PayloadBytes() int64 { return int64(r.payloadBytes) }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	for {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.off < len(r.buf) {
+			n := copy(p, r.buf[r.off:])
+			r.off += n
+			return n, nil
+		}
+		if r.done {
+			return 0, io.EOF
+		}
+		if err := r.nextFrame(); err != nil {
+			r.fail(err)
+			return 0, err
+		}
+		if len(p) == 0 && !r.done {
+			return 0, nil
+		}
+	}
+}
+
+// fail records a terminal error and releases the receive buffer.
+func (r *Reader) fail(err error) {
+	r.err = err
+	sched.PutBytes(r.buf)
+	r.buf, r.off = nil, 0
+}
+
+func (r *Reader) readFull(buf []byte, context string) error {
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return corruptf("%s: %v", context, err)
+	}
+	return nil
+}
+
+// nextFrame reads and verifies one frame. On return either r.buf holds a
+// fresh payload, or r.done is set (trailer verified).
+func (r *Reader) nextFrame() error {
+	if !r.started {
+		var pre [5]byte
+		if err := r.readFull(pre[:], "preamble"); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint32(pre[:]) != streamMagic {
+			return corruptf("bad magic")
+		}
+		if pre[4] != streamVersion {
+			return corruptf("unsupported version %d", pre[4])
+		}
+		r.started = true
+	}
+	var hdr [frameHeaderLen]byte
+	if err := r.readFull(hdr[:], "frame header"); err != nil {
+		return err
+	}
+	kind := hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return corruptf("frame payload %d exceeds limit", n)
+	}
+	switch kind {
+	case FrameHeader, FrameTensor, FrameLossless:
+		if r.frames == 0 && kind != FrameHeader {
+			return corruptf("first frame kind 0x%02x, want header", kind)
+		}
+	case FrameTrailer:
+		if n != trailerLen {
+			return corruptf("trailer payload %d bytes, want %d", n, trailerLen)
+		}
+	default:
+		return corruptf("unknown frame kind 0x%02x", kind)
+	}
+
+	// Receive the payload into a pooled buffer that grows with the bytes
+	// actually received, so a hostile length cannot force a large
+	// allocation up front.
+	want := int(n)
+	sched.PutBytes(r.buf)
+	r.buf, r.off = nil, 0
+	buf, err := sched.ReadFullPooled(r.r, want)
+	if err != nil {
+		return corruptf("frame payload: %v", err)
+	}
+	var crcBuf [4]byte
+	if err := r.readFull(crcBuf[:], "frame crc"); err != nil {
+		sched.PutBytes(buf)
+		return err
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, buf)
+	if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
+		sched.PutBytes(buf)
+		return corruptf("frame crc mismatch (kind 0x%02x, %d bytes)", kind, want)
+	}
+
+	if kind == FrameTrailer {
+		frames := binary.LittleEndian.Uint32(buf[0:])
+		payloadBytes := binary.LittleEndian.Uint64(buf[4:])
+		streamCRC := binary.LittleEndian.Uint32(buf[12:])
+		sched.PutBytes(buf)
+		if frames != r.frames {
+			return corruptf("trailer frame count %d, received %d", frames, r.frames)
+		}
+		if payloadBytes != r.payloadBytes {
+			return corruptf("trailer payload bytes %d, received %d", payloadBytes, r.payloadBytes)
+		}
+		if streamCRC != r.streamCRC {
+			return corruptf("stream crc mismatch")
+		}
+		r.done = true
+		return nil
+	}
+	r.buf, r.off = buf, 0
+	r.frames++
+	r.payloadBytes += uint64(want)
+	r.streamCRC = crc32.Update(r.streamCRC, crc32.IEEETable, buf)
+	return nil
+}
+
+// Close releases the Reader's receive buffer. Reading after Close returns
+// the terminal state. It does not close the underlying reader.
+func (r *Reader) Close() {
+	if r.err == nil {
+		r.fail(io.ErrClosedPipe)
+		if r.done {
+			r.err = io.EOF
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/tensor"
+)
+
+// testDict builds a dict with several lossy tensors and a metadata tail.
+func testDict(rng *rand.Rand) *tensor.StateDict {
+	sd := tensor.NewStateDict()
+	for i, n := range []int{2048, 4096, 3000} {
+		w := tensor.FromData(eblctest.WeightLike(rng, n), n)
+		sd.Add("layer"+string(rune('a'+i))+".weight", tensor.KindWeight, w)
+	}
+	b := tensor.New(32)
+	for j := range b.Data {
+		b.Data[j] = float32(0.01 * rng.NormFloat64())
+	}
+	sd.Add("head.bias", tensor.KindBias, b)
+	return sd
+}
+
+// frame builds one wire stream from a FedSZ stream.
+func frame(t *testing.T, stream []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func compressDict(t *testing.T, seed uint64) ([]byte, *tensor.StateDict) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	sd := testDict(rng)
+	stream, _, err := core.Compress(sd, core.Options{LossyParams: ebcl.Rel(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, sd
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	stream, _ := compressDict(t, 1)
+	framed := frame(t, stream)
+
+	r := NewReader(bytes.NewReader(framed))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, stream) {
+		t.Fatalf("reassembled payload differs: %d bytes vs %d", len(got), len(stream))
+	}
+	if r.PayloadBytes() != int64(len(stream)) {
+		t.Fatalf("payload bytes %d, want %d", r.PayloadBytes(), len(stream))
+	}
+	secs, err := core.Sections(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + len(secs.Tensors); r.Frames() != want {
+		t.Fatalf("frames %d, want %d", r.Frames(), want)
+	}
+}
+
+func TestReaderComposesWithDecompressFrom(t *testing.T) {
+	stream, _ := compressDict(t, 2)
+	framed := frame(t, stream)
+
+	want, _, err := core.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := core.DecompressFrom(NewReader(bytes.NewReader(framed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), want.Marshal()) {
+		t.Fatal("wire-framed decode differs from in-memory decode")
+	}
+}
+
+func TestReaderChunkedDelivery(t *testing.T) {
+	stream, _ := compressDict(t, 3)
+	framed := frame(t, stream)
+	for _, chunk := range []int{1, 3, 64, 4096} {
+		r := NewReader(io.MultiReader(
+			bytes.NewReader(framed[:7]),
+			&oneByteReader{data: framed[7:], chunk: chunk},
+		))
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if !bytes.Equal(got, stream) {
+			t.Fatalf("chunk %d: payload differs", chunk)
+		}
+	}
+}
+
+type oneByteReader struct {
+	data  []byte
+	chunk int
+}
+
+func (o *oneByteReader) Read(p []byte) (int, error) {
+	if len(o.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(min(len(p), o.chunk), len(o.data))
+	copy(p, o.data[:n])
+	o.data = o.data[n:]
+	return n, nil
+}
+
+func TestTruncationWrapsErrCorrupt(t *testing.T) {
+	stream, _ := compressDict(t, 4)
+	framed := frame(t, stream)
+	step := len(framed)/150 + 1
+	for l := 0; l < len(framed); l += step {
+		_, err := io.ReadAll(NewReader(bytes.NewReader(framed[:l])))
+		if !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("truncation at %d of %d: error %v does not wrap core.ErrCorrupt", l, len(framed), err)
+		}
+	}
+}
+
+func TestBitFlipsWrapErrCorrupt(t *testing.T) {
+	stream, _ := compressDict(t, 5)
+	framed := frame(t, stream)
+	rng := rand.New(rand.NewPCG(6, 7))
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), framed...)
+		bad[rng.IntN(len(bad))] ^= byte(rng.IntN(255) + 1)
+		got, err := io.ReadAll(NewReader(bytes.NewReader(bad)))
+		if err == nil {
+			// CRC-32 catches every single-byte flip somewhere in the stream;
+			// reaching EOF without an error means a checksum was missed.
+			t.Fatalf("trial %d: flipped stream read cleanly (%d bytes)", trial, len(got))
+		}
+		if !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("trial %d: error %v does not wrap core.ErrCorrupt", trial, err)
+		}
+	}
+}
+
+func TestTrailerDetectsFrameBoundaryTruncation(t *testing.T) {
+	// Per-frame CRCs cannot see a stream cut exactly between frames; the
+	// trailer's counts must.
+	stream, _ := compressDict(t, 8)
+	secs, err := core.Sections(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FrameHeader, secs.Header); err != nil {
+		t.Fatal(err)
+	}
+	full := NewWriter(io.Discard)
+	if err := full.WriteStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	// Graft the full stream's trailer counts onto the short stream: the
+	// trailer itself is intact, but promises more frames than arrived.
+	w.frames = full.frames
+	w.payloadBytes = full.payloadBytes
+	w.streamCRC = full.streamCRC
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(NewReader(bytes.NewReader(buf.Bytes()))); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("boundary truncation: error %v does not wrap core.ErrCorrupt", err)
+	}
+}
+
+func TestWriterRejectsMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(FrameTensor, []byte{1}); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+	if err := NewWriter(&bytes.Buffer{}).WriteStream([]byte("not a fedsz stream")); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("framing junk: %v", err)
+	}
+}
+
+func TestReaderRejectsNonHeaderFirstFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FrameTensor, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(NewReader(bytes.NewReader(buf.Bytes()))); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("tensor-first stream: %v", err)
+	}
+}
+
+func TestEmptyAndJunkInputs(t *testing.T) {
+	for _, in := range [][]byte{nil, {0x46}, []byte("FWR1"), bytes.Repeat([]byte{0xAB}, 64)} {
+		if _, err := io.ReadAll(NewReader(bytes.NewReader(in))); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("junk %v: error %v does not wrap core.ErrCorrupt", in[:min(len(in), 8)], err)
+		}
+	}
+}

@@ -34,6 +34,13 @@ const (
 	intScale  = 30 // fixed-point scale: values in [-1,1] → ±2^30
 	nbmask    = 0xaaaaaaaa
 	maxPlanes = 32
+
+	// emaxEscape is the 10-bit exponent sentinel marking a literal block:
+	// a block containing NaN/±Inf has no usable common exponent, so its
+	// four values are stored as raw IEEE-754 bits instead of being clamped
+	// to zero (the same literal-escape discipline as SZ2/SZ3/SZx). Real
+	// float32 exponents encode as emax+256 ∈ [108, 385], far from 1023.
+	emaxEscape = 1<<10 - 1
 )
 
 // Params re-exports ebcl.Params.
@@ -159,16 +166,33 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 }
 
 // encodeBlock writes one 4-value block: a zero flag, the common exponent,
-// and the group-tested bit planes of the negabinary coefficients.
+// and the group-tested bit planes of the negabinary coefficients. Blocks
+// containing NaN/±Inf escape to raw IEEE-754 literals behind the
+// emaxEscape sentinel, so non-finite values round-trip bit-exactly and
+// their finite neighbours survive unclamped.
 func encodeBlock(w *bitio.Writer, block *[blockLen]float32, precision int) {
 	var maxAbs float64
+	nonFinite := false
 	for _, v := range block {
-		if a := math.Abs(float64(v)); a > maxAbs {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			nonFinite = true
+			break
+		}
+		if a := math.Abs(f); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
-		// All-zero (or non-finite, which we clamp to zero) block.
+	if nonFinite {
+		w.WriteBit(1)
+		w.WriteBits(emaxEscape, 10)
+		for _, v := range block {
+			w.WriteBits(uint64(math.Float32bits(v)), 32)
+		}
+		return
+	}
+	if maxAbs == 0 {
+		// All-zero block.
 		w.WriteBit(0)
 		return
 	}
@@ -207,6 +231,17 @@ func decodeBlock(r *bitio.Reader, block *[blockLen]float32, precision int) error
 	e10, err := r.ReadBits(10)
 	if err != nil {
 		return ebcl.ErrCorrupt
+	}
+	if e10 == emaxEscape {
+		// Literal block: four raw IEEE-754 values.
+		for i := range block {
+			bits, err := r.ReadBits(32)
+			if err != nil {
+				return ebcl.ErrCorrupt
+			}
+			block[i] = math.Float32frombits(uint32(bits))
+		}
+		return nil
 	}
 	emax := int(int16(e10)) - 256
 

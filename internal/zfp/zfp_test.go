@@ -156,3 +156,64 @@ func BenchmarkCompressPrec8(b *testing.B) {
 		}
 	}
 }
+
+func TestNonFiniteRoundTripsAsLiterals(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	data := eblctest.WeightLike(rng, 4096)
+	// Poison values across block positions, including a partial tail block.
+	data = append(data, 0.5, float32(math.NaN()))
+	data[0] = float32(math.NaN())
+	data[17] = float32(math.Inf(1))
+	data[18] = 0.25 // finite neighbour inside a poisoned block
+	data[4095] = float32(math.Inf(-1))
+
+	c := NewCompressor()
+	for _, p := range []ebcl.Params{ebcl.Abs(1e-3), ebcl.Precision(12)} {
+		stream, err := c.Compress(data, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		out, err := c.Decompress(stream)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("%v: length %d != %d", p, len(out), len(data))
+		}
+		for i, v := range data {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				if math.Float32bits(out[i]) != math.Float32bits(v) {
+					t.Fatalf("%v: non-finite value at %d not bit-exact: % x -> % x",
+						p, i, math.Float32bits(v), math.Float32bits(out[i]))
+				}
+			}
+		}
+		// Finite values sharing a block with NaN/Inf are stored losslessly.
+		for _, i := range []int{1, 2, 3, 16, 18, 19, 4092, 4093, 4094, 4096} {
+			if math.Float32bits(out[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("%v: finite neighbour at %d not bit-exact: %g -> %g", p, i, data[i], out[i])
+			}
+		}
+	}
+}
+
+func TestNaNOnlyBlockDoesNotClampToZero(t *testing.T) {
+	// Regression: the old encoder's maxAbs scan saw NaN comparisons as
+	// false and emitted an all-zero block for NaN-only input.
+	data := []float32{float32(math.NaN()), float32(math.NaN()), float32(math.NaN()), float32(math.NaN()), 1, 2, 3, 4}
+	c := NewCompressor()
+	stream, err := c.Compress(data, ebcl.Abs(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !math.IsNaN(float64(out[i])) {
+			t.Fatalf("NaN at %d decoded as %g", i, out[i])
+		}
+	}
+}
