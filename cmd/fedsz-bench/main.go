@@ -68,12 +68,21 @@ func main() {
 		serve    = flag.Bool("serve", false, "stream the client updates over TCP into the flserve aggregation server (with -clients)")
 		mbps     = flag.Float64("mbps", 0, "throttle each client uplink to this bandwidth (with -serve; 0 = unthrottled)")
 		upload   = flag.String("upload", "", "upload to an external fedsz-serve at this address instead of an in-process server (with -serve)")
+		jsonOut  = flag.String("json", "", "measure the entropy stage + SZ2/SZ3 codec paths and write a machine-readable perf snapshot to this path ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *jsonOut != "" {
+		if err := runPerfSnapshot(os.Stdout, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

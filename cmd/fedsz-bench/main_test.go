@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +49,49 @@ func TestStreamSimRejectsUnknownModel(t *testing.T) {
 	var sb strings.Builder
 	if err := runStreamSim(&sb, 2, 1, 0, "nope", 0.01, 1, ""); err == nil {
 		t.Fatal("expected error for unknown model")
+	}
+}
+
+// TestPerfSnapshotSmoke drives the -json perf-snapshot mode end to end and
+// validates the written record. Skipped under -short: testing.Benchmark
+// targets ~1s per entry, so the full snapshot takes ~10s.
+func TestPerfSnapshotSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf snapshot runs full benchmarks; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "perf.json")
+	var sb strings.Builder
+	if err := runPerfSnapshot(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap perfSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Schema != perfSchema {
+		t.Fatalf("schema %q want %q", snap.Schema, perfSchema)
+	}
+	names := map[string]bool{}
+	for _, e := range snap.Benchmarks {
+		if e.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive ns/op %g", e.Name, e.NsPerOp)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"huffman_decode_table", "huffman_decode_reference",
+		"huffman_encode_bulk", "huffman_decode_bulk",
+		"sz2_compress", "sz2_decompress", "sz3_compress", "sz3_decompress",
+	} {
+		if !names[want] {
+			t.Fatalf("snapshot missing benchmark %q (have %v)", want, names)
+		}
+	}
+	if s := snap.Derived["huffman_decode_speedup_table_vs_reference"]; s <= 1 {
+		t.Fatalf("table decoder not faster than reference (speedup %.2f)", s)
 	}
 }

@@ -1,0 +1,218 @@
+package main
+
+// Perf-snapshot mode (-json): measures the entropy stage and the SZ2/SZ3
+// codec paths with testing.Benchmark and writes a machine-readable JSON
+// record. Committed snapshots (BENCH_PR3.json, ...) form the performance
+// trajectory across PRs: later sessions diff their snapshot against the
+// checked-in baselines instead of eyeballing benchmark logs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bitio"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/huffman"
+	"repro/internal/sched"
+	"repro/internal/sz2"
+	"repro/internal/sz3"
+)
+
+// perfSchema versions the snapshot layout for future tooling.
+const perfSchema = "fedsz-perf/1"
+
+type perfEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type perfSnapshot struct {
+	Schema     string             `json:"schema"`
+	CreatedAt  string             `json:"created_at"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks []perfEntry        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// quantSymbols synthesizes an SZ2-shaped quantization-code stream: tight
+// normal mass at the alphabet center plus occasional escapes.
+func quantSymbols(n int) []uint16 {
+	rng := rand.New(rand.NewPCG(42, 1105))
+	syms := make([]uint16, n)
+	for i := range syms {
+		if rng.IntN(512) == 0 {
+			syms[i] = ebcl.EscapeCode
+			continue
+		}
+		v := ebcl.QuantRadius + int(rng.NormFloat64()*6)
+		if v < 1 {
+			v = 1
+		}
+		if v >= ebcl.QuantAlphabet {
+			v = ebcl.QuantAlphabet - 1
+		}
+		syms[i] = uint16(v)
+	}
+	return syms
+}
+
+// runPerfSnapshot measures the entropy-stage decoders (table vs reference),
+// the bulk codec APIs, and the SZ2/SZ3 end-to-end paths, then writes the
+// JSON snapshot to outPath ("-" for stdout) and a human summary to w.
+func runPerfSnapshot(w io.Writer, outPath string) error {
+	prog := w
+	if outPath == "-" {
+		// Keep stdout machine-readable: progress lines go to stderr.
+		prog = os.Stderr
+	}
+	snap := &perfSnapshot{
+		Schema:     perfSchema,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Derived:    map[string]float64{},
+	}
+	record := func(name string, bytesMoved int, fn func(b *testing.B)) perfEntry {
+		r := testing.Benchmark(fn)
+		e := perfEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if bytesMoved > 0 && r.T > 0 {
+			e.MBPerS = float64(bytesMoved) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		snap.Benchmarks = append(snap.Benchmarks, e)
+		fmt.Fprintf(prog, "%-28s %12.0f ns/op %10.1f MB/s %8d allocs/op\n",
+			name, e.NsPerOp, e.MBPerS, e.AllocsPerOp)
+		return e
+	}
+
+	// Symbol-level decoders over one shared codec, so the comparison
+	// isolates decode strategy from table construction.
+	const nSyms = 1 << 16
+	syms := quantSymbols(nSyms)
+	freqs := make([]uint64, ebcl.QuantAlphabet)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	codec, err := huffman.NewCodec(freqs)
+	if err != nil {
+		return err
+	}
+	bw := bitio.NewWriter(nSyms)
+	for _, s := range syms {
+		codec.Encode(bw, int(s))
+	}
+	stream := bw.Bytes()
+
+	tbl := record("huffman_decode_table", nSyms, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := bitio.NewReader(stream)
+			for j := 0; j < nSyms; j++ {
+				if _, err := codec.DecodeFast(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	ref := record("huffman_decode_reference", nSyms, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := bitio.NewReader(stream)
+			for j := 0; j < nSyms; j++ {
+				if _, err := codec.Decode(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if tbl.NsPerOp > 0 {
+		snap.Derived["huffman_decode_speedup_table_vs_reference"] = ref.NsPerOp / tbl.NsPerOp
+	}
+
+	// Bulk entropy-stage APIs (include table build + header parsing).
+	blob, err := huffman.EncodeAllU16(syms, ebcl.QuantAlphabet)
+	if err != nil {
+		return err
+	}
+	record("huffman_encode_bulk", nSyms, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc, err := huffman.EncodeAllU16(syms, ebcl.QuantAlphabet)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched.PutBytes(enc)
+		}
+	})
+	record("huffman_decode_bulk", nSyms, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := huffman.DecodeAllU16(blob, ebcl.QuantAlphabet)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched.PutUint16s(out)
+		}
+	})
+
+	// End-to-end SZ2/SZ3 on weight-like data: the aggregation-server decode
+	// hot path the entropy stage feeds.
+	rng := rand.New(rand.NewPCG(7, 9))
+	weights := eblctest.WeightLike(rng, 1<<18)
+	rawBytes := 4 * len(weights)
+	for _, cp := range []ebcl.Compressor{sz2.NewCompressor(), sz3.NewCompressor()} {
+		enc, err := cp.Compress(weights, ebcl.Rel(1e-2))
+		if err != nil {
+			return err
+		}
+		record(cp.Name()+"_compress", rawBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := cp.Compress(weights, ebcl.Rel(1e-2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Recycle like core.Compress does, so allocs/op reflects
+				// the codec, not the harness dropping pooled buffers.
+				sched.PutBytes(out)
+			}
+		})
+		record(cp.Name()+"_decompress", rawBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Decompress(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = w.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(prog, "\nperf snapshot written to %s (speedup table vs reference: %.2fx)\n",
+		outPath, snap.Derived["huffman_decode_speedup_table_vs_reference"])
+	return nil
+}

@@ -4,11 +4,19 @@
 // Writer accumulates bits into an internal byte buffer; Reader consumes bits
 // from a byte slice. Both operate most-significant-bit first so that encoded
 // streams are byte-order independent and diffable.
+//
+// Reader additionally exposes a branchless word-oriented fast path —
+// Refill / Peek / Consume over a cached 64-bit accumulator — which is what
+// the table-driven Huffman decoder and the bit-plane scanners use. The wire
+// format is identical either way; the fast path only changes how many bits
+// are moved per memory access.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrUnexpectedEOF is returned when a Reader runs out of bits mid-read.
@@ -32,13 +40,26 @@ func NewWriter(sizeHint int) *Writer {
 	return w
 }
 
-// flushFullBytes drains complete bytes from the accumulator.
+// NewWriterBuffer returns a Writer that appends into buf's backing array,
+// so callers recycling buffers through a pool can supply the storage and
+// recover it (possibly regrown) from Bytes.
+func NewWriterBuffer(buf []byte) *Writer {
+	return &Writer{buf: buf[:0]}
+}
+
+// flushFullBytes drains complete bytes from the accumulator in one append,
+// rather than a byte at a time.
 func (w *Writer) flushFullBytes() {
-	for w.nCur >= 8 {
-		w.buf = append(w.buf, byte(w.cur>>(w.nCur-8)))
-		w.nCur -= 8
+	k := w.nCur >> 3
+	if k == 0 {
+		return
 	}
+	v := w.cur >> (w.nCur - 8*k)
+	w.nCur -= 8 * k
 	w.cur &= 1<<w.nCur - 1
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v<<(64-8*k))
+	w.buf = append(w.buf, tmp[:k]...)
 }
 
 // WriteBit appends a single bit; any nonzero value writes 1.
@@ -85,12 +106,18 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	}
 }
 
-// WriteUnary writes v as v one-bits followed by a terminating zero-bit.
+// WriteUnary writes v as v one-bits followed by a terminating zero-bit,
+// batched into WriteBits chunks of up to 64 bits.
 func (w *Writer) WriteUnary(v uint64) {
-	for i := uint64(0); i < v; i++ {
-		w.WriteBit(1)
+	for v >= 64 {
+		w.WriteBits(^uint64(0), 64)
+		v -= 64
 	}
-	w.WriteBit(0)
+	if v == 63 {
+		w.WriteBits(^uint64(1), 64) // 63 ones + the terminating zero
+		return
+	}
+	w.WriteBits(1<<(v+1)-2, uint(v)+1) // v ones + the terminating zero
 }
 
 // WriteBytes appends whole bytes. The writer need not be byte aligned.
@@ -99,6 +126,10 @@ func (w *Writer) WriteBytes(p []byte) {
 	if w.nCur == 0 {
 		w.buf = append(w.buf, p...)
 		return
+	}
+	for len(p) >= 8 {
+		w.WriteBits(binary.BigEndian.Uint64(p), 64)
+		p = p[8:]
 	}
 	for _, b := range p {
 		w.WriteBits(uint64(b), 8)
@@ -135,28 +166,87 @@ func (w *Writer) Reset() {
 }
 
 // Reader reads bits from a byte slice, most significant bit first.
+//
+// All reads go through a 64-bit accumulator: the next unread bit is bit 63
+// of bits, and only the top nBits bits are valid (the rest are zero). The
+// table-driven decoders drive the accumulator directly via Refill / Peek /
+// Consume; ReadBit / ReadBits / ReadUnary are defined on top of it.
 type Reader struct {
-	data []byte
-	pos  int  // byte index
-	nRem uint // bits remaining in data[pos] (8..1); 0 means advance
+	data  []byte
+	pos   int    // next byte of data to load into the accumulator
+	bits  uint64 // accumulator, MSB-justified: top nBits bits are valid
+	nBits uint   // valid bits in the accumulator (0..64)
 }
 
 // NewReader returns a Reader over data. The slice is not copied.
 func NewReader(data []byte) *Reader {
-	return &Reader{data: data, nRem: 8}
+	return &Reader{data: data}
 }
+
+// Refill tops the accumulator up to at least 56 valid bits, or to all
+// remaining stream bits when fewer are left. After Refill, any Peek/Consume
+// of up to min(56, BitsRemaining()) bits is safe without further checks.
+func (r *Reader) Refill() {
+	if r.nBits >= 56 {
+		return
+	}
+	if r.pos+8 <= len(r.data) {
+		// One 64-bit load tops the accumulator up to 56..63 valid bits.
+		// The load may bring in up to 7 bits beyond the bytes pos advances
+		// over; they sit below the valid region and are re-ORed with
+		// identical values on the next refill, so they are harmless — and
+		// being real stream bits, they never fake data past the end.
+		r.bits |= binary.BigEndian.Uint64(r.data[r.pos:]) >> r.nBits
+		r.pos += int((63 - r.nBits) >> 3)
+		r.nBits |= 56
+		return
+	}
+	r.refillTail()
+}
+
+// refillTail is Refill's byte-at-a-time path for the last <8 bytes of the
+// stream, kept out of line so Refill itself stays inlinable.
+func (r *Reader) refillTail() {
+	for r.nBits < 56 && r.pos < len(r.data) {
+		r.bits |= uint64(r.data[r.pos]) << (56 - r.nBits)
+		r.pos++
+		r.nBits += 8
+	}
+}
+
+// Peek returns the next n bits (MSB-first) without consuming them, n in
+// [0, 56]. Bits past the end of the stream read as zero. Callers are
+// responsible for calling Refill first and for checking Buffered /
+// BitsRemaining before trusting more than Buffered() bits.
+func (r *Reader) Peek(n uint) uint64 {
+	return r.bits >> (64 - n)
+}
+
+// Consume discards the next n bits. n must not exceed Buffered().
+func (r *Reader) Consume(n uint) {
+	if n > r.nBits {
+		panic("bitio: Consume exceeds buffered bits")
+	}
+	r.bits <<= n
+	r.nBits -= n
+}
+
+// Buffered reports the number of valid bits currently in the accumulator.
+// After Refill it is min(56..63, BitsRemaining()); a value below a needed
+// width after Refill therefore means the stream itself is short.
+func (r *Reader) Buffered() uint { return r.nBits }
 
 // ReadBit reads one bit.
 func (r *Reader) ReadBit() (uint, error) {
-	if r.pos >= len(r.data) {
-		return 0, ErrUnexpectedEOF
+	if r.nBits == 0 {
+		r.Refill()
+		if r.nBits == 0 {
+			return 0, ErrUnexpectedEOF
+		}
 	}
-	r.nRem--
-	bit := uint(r.data[r.pos]>>r.nRem) & 1
-	if r.nRem == 0 {
-		r.pos++
-		r.nRem = 8
-	}
+	bit := uint(r.bits >> 63)
+	r.bits <<= 1
+	r.nBits--
 	return bit, nil
 }
 
@@ -165,56 +255,90 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitio: ReadBits width %d > 64", n))
 	}
-	var v uint64
-	// Bulk path: take the remainder of the current byte, then whole bytes.
-	for n > 0 {
-		if r.pos >= len(r.data) {
-			return 0, ErrUnexpectedEOF
-		}
-		take := r.nRem
-		if take > n {
-			take = n
-		}
-		chunk := uint64(r.data[r.pos]>>(r.nRem-take)) & (1<<take - 1)
-		v = v<<take | chunk
-		r.nRem -= take
-		n -= take
-		if r.nRem == 0 {
-			r.pos++
-			r.nRem = 8
-		}
+	if n == 0 {
+		return 0, nil
 	}
+	if n <= r.nBits {
+		v := r.bits >> (64 - n)
+		r.bits <<= n
+		r.nBits -= n
+		return v, nil
+	}
+	r.Refill()
+	if n <= r.nBits {
+		v := r.bits >> (64 - n)
+		r.bits <<= n
+		r.nBits -= n
+		return v, nil
+	}
+	// Wide read near the accumulator boundary (n in 57..64) or end of
+	// stream: drain what is buffered, refill, take the rest.
+	if n > uint(r.BitsRemaining()) {
+		return 0, ErrUnexpectedEOF
+	}
+	take := r.nBits // < 64 here, since n <= 64 did not fit
+	v := r.bits >> (64 - take)
+	r.bits, r.nBits = 0, 0
+	r.Refill()
+	rest := n - take // <= 8 once a refill succeeded
+	v = v<<rest | r.bits>>(64-rest)
+	r.bits <<= rest
+	r.nBits -= rest
 	return v, nil
 }
 
-// ReadUnary reads a unary-coded value (count of one-bits before a zero-bit).
+// ReadUnary reads a unary-coded value (count of one-bits before a zero-bit)
+// by scanning the accumulator a word at a time.
 func (r *Reader) ReadUnary() (uint64, error) {
 	var v uint64
 	for {
-		bit, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		r.Refill()
+		if r.nBits == 0 {
+			return 0, ErrUnexpectedEOF
 		}
-		if bit == 0 {
-			return v, nil
+		ones := uint(bits.LeadingZeros64(^r.bits))
+		if ones >= r.nBits {
+			// Every buffered bit is a one; consume them all and keep going.
+			v += uint64(r.nBits)
+			r.bits, r.nBits = 0, 0
+			continue
 		}
-		v++
+		r.bits <<= ones + 1
+		r.nBits -= ones + 1
+		return v + uint64(ones), nil
 	}
 }
 
 // ReadBytes reads n whole bytes. The reader need not be byte aligned.
 func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	if n > (len(r.data)-r.pos)+int(r.nBits>>3) {
+		return nil, ErrUnexpectedEOF
+	}
 	out := make([]byte, n)
-	if r.nRem == 8 {
-		// Fast path: byte aligned.
-		if r.pos+n > len(r.data) {
+	i := 0
+	if r.nBits&7 == 0 {
+		// Byte-aligned: drain whole accumulator bytes, then copy directly.
+		for r.nBits > 0 && i < n {
+			out[i] = byte(r.bits >> 56)
+			r.bits <<= 8
+			r.nBits -= 8
+			i++
+		}
+		// Clear any lookahead bits Refill left below the (now empty) valid
+		// region: the direct copy below advances pos past their source
+		// bytes, so they must not survive into the next refill.
+		if r.nBits == 0 {
+			r.bits = 0
+		}
+		copied := copy(out[i:], r.data[r.pos:])
+		r.pos += copied
+		i += copied
+		if i < n {
 			return nil, ErrUnexpectedEOF
 		}
-		copy(out, r.data[r.pos:r.pos+n])
-		r.pos += n
 		return out, nil
 	}
-	for i := range out {
+	for ; i < n; i++ {
 		v, err := r.ReadBits(8)
 		if err != nil {
 			return nil, err
@@ -226,16 +350,14 @@ func (r *Reader) ReadBytes(n int) ([]byte, error) {
 
 // Align skips forward to the next byte boundary.
 func (r *Reader) Align() {
-	if r.nRem != 8 {
-		r.pos++
-		r.nRem = 8
-	}
+	// Bits consumed so far ≡ -nBits (mod 8), so dropping nBits%8 more bits
+	// lands on a byte boundary.
+	drop := r.nBits & 7
+	r.bits <<= drop
+	r.nBits -= drop
 }
 
 // BitsRemaining reports the number of unread bits.
 func (r *Reader) BitsRemaining() int {
-	if r.pos >= len(r.data) {
-		return 0
-	}
-	return (len(r.data)-r.pos-1)*8 + int(r.nRem)
+	return (len(r.data)-r.pos)*8 + int(r.nBits)
 }

@@ -182,6 +182,143 @@ func TestQuickFieldRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPeekConsumeFastPath(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0x3FFF, 14)
+	w.WriteBits(0xABCDE, 20)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	r.Refill()
+	if got := r.Peek(4); got != 0b1011 {
+		t.Fatalf("Peek(4) = %#b", got)
+	}
+	// Peek must not consume.
+	if got := r.Peek(4); got != 0b1011 {
+		t.Fatalf("second Peek(4) = %#b", got)
+	}
+	r.Consume(4)
+	r.Refill()
+	if got := r.Peek(14); got != 0x3FFF {
+		t.Fatalf("Peek(14) = %#x", got)
+	}
+	r.Consume(14)
+	r.Refill()
+	if got := r.Peek(20); got != 0xABCDE {
+		t.Fatalf("Peek(20) = %#x", got)
+	}
+	r.Consume(20)
+	if rem := r.BitsRemaining(); rem != len(data)*8-38 {
+		t.Fatalf("BitsRemaining = %d want %d", rem, len(data)*8-38)
+	}
+}
+
+func TestPeekPastEndReadsZero(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	r.Refill()
+	if r.Buffered() != 8 {
+		t.Fatalf("Buffered = %d want 8", r.Buffered())
+	}
+	// Bits beyond the stream must read as zero, however the 8 real bits
+	// were consumed beforehand.
+	if got := r.Peek(12); got != 0xFF0 {
+		t.Fatalf("Peek(12) = %#x want 0xFF0", got)
+	}
+	r.Consume(8)
+	r.Refill()
+	if got := r.Peek(8); got != 0 {
+		t.Fatalf("Peek past end = %#x want 0", got)
+	}
+}
+
+func TestConsumeOverrunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Consume past Buffered must panic")
+		}
+	}()
+	r := NewReader([]byte{0xAA})
+	r.Refill()
+	r.Consume(9)
+}
+
+// Refill/Peek/Consume interleaved with the classic APIs must agree with a
+// pure ReadBits decode of the same stream.
+func TestQuickPeekConsumeEquivalence(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		count := int(n%48) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter(0)
+		for i := range vals {
+			widths[i] = uint(rng.IntN(56) + 1)
+			vals[i] = rng.Uint64() & (^uint64(0) >> (64 - widths[i]))
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			if rng.IntN(2) == 0 {
+				r.Refill()
+				if r.Buffered() < widths[i] {
+					return false
+				}
+				if r.Peek(widths[i]) != vals[i] {
+					return false
+				}
+				r.Consume(widths[i])
+			} else {
+				got, err := r.ReadBits(widths[i])
+				if err != nil || got != vals[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryBatchedEdges(t *testing.T) {
+	// Values spanning the 64-bit chunk boundaries of the batched writer.
+	vals := []uint64{0, 62, 63, 64, 65, 127, 128, 200}
+	w := NewWriter(0)
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("unary: got %d want %d", got, want)
+		}
+	}
+	// All-ones stream without a terminator must hit EOF, not spin.
+	r = NewReader([]byte{0xFF, 0xFF})
+	if _, err := r.ReadUnary(); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestNewWriterBuffer(t *testing.T) {
+	backing := make([]byte, 5, 32)
+	w := NewWriterBuffer(backing)
+	w.WriteBits(0xBEEF, 16)
+	out := w.Bytes()
+	if len(out) != 2 || out[0] != 0xBE || out[1] != 0xEF {
+		t.Fatalf("bytes % x", out)
+	}
+	if &out[0] != &backing[:1][0] {
+		t.Fatal("writer did not reuse the supplied backing array")
+	}
+}
+
 func BenchmarkWriteBits(b *testing.B) {
 	w := NewWriter(1 << 16)
 	b.ReportAllocs()

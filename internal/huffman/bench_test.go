@@ -1,0 +1,76 @@
+package huffman
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// szQuantStream builds a symbol stream shaped like SZ2 quantization codes:
+// a tight normal mass centered at QuantRadius with occasional escapes —
+// the distribution the entropy stage decodes on the aggregation server's
+// hot path.
+func szQuantStream(n int) []uint16 {
+	rng := rand.New(rand.NewPCG(42, 1105))
+	syms := make([]uint16, n)
+	for i := range syms {
+		if rng.IntN(512) == 0 {
+			syms[i] = quantEscape
+			continue
+		}
+		v := quantRadius + int(rng.NormFloat64()*6)
+		if v < 1 {
+			v = 1
+		}
+		if v >= quantAlphabet {
+			v = quantAlphabet - 1
+		}
+		syms[i] = uint16(v)
+	}
+	return syms
+}
+
+// BenchmarkHuffmanDecode compares the table-driven decoder against the
+// retained bit-by-bit reference decoder on the SZ2 quantization-code
+// distribution. The acceptance bar for PR 3 is table ≥ 3× reference.
+func BenchmarkHuffmanDecode(b *testing.B) {
+	syms := szQuantStream(1 << 16)
+	enc, err := EncodeAllU16(syms, quantAlphabet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("table", func(b *testing.B) {
+		b.SetBytes(int64(len(syms)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := DecodeAllU16(enc, quantAlphabet)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched.PutUint16s(out)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(int64(len(syms)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeAllRef(enc, quantAlphabet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHuffmanEncode(b *testing.B) {
+	syms := szQuantStream(1 << 16)
+	b.SetBytes(int64(len(syms)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := EncodeAllU16(syms, quantAlphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched.PutBytes(enc)
+	}
+}

@@ -6,6 +6,15 @@
 // Code tables are serialized as the list of per-symbol code lengths, so the
 // decoder can rebuild the exact canonical code without transmitting the
 // codes themselves.
+//
+// Decoding is table-driven in the zlib/zstd style: a primary lookup table
+// indexed by the next primaryBits bits resolves short codes in one probe,
+// with per-prefix secondary tables for longer codes. The original
+// bit-by-bit canonical decoder is retained as Decode — it is the reference
+// implementation the table decoder is differentially tested against, and
+// the fallback that reproduces exact error behavior on truncated or
+// corrupt streams. Both decoders read the same serialized format; only the
+// number of bits moved per memory access differs.
 package huffman
 
 import (
@@ -15,11 +24,33 @@ import (
 	"sort"
 
 	"repro/internal/bitio"
+	"repro/internal/sched"
 )
 
 // MaxCodeLen is the maximum code length produced by NewCodec. Length
 // limiting keeps the decoder tables small and bounds worst-case expansion.
 const MaxCodeLen = 24
+
+// primaryBits is the index width of the first-level decode table: one
+// 2^11-entry probe resolves every code up to 11 bits — which covers all hot
+// symbols of the skewed quantization-code and literal distributions — and
+// longer codes chain through a compact per-prefix secondary table.
+const primaryBits = 11
+
+// Decode-table entry layout (uint32):
+//
+//	bits 0..4  code length to consume (direct) or secondary width (link)
+//	bit  5     link flag: entry points at a secondary table
+//	bits 6..   symbol (direct) or secondary-table base offset (link)
+//
+// A zero entry marks a bit pattern that is no code's prefix (possible only
+// for incomplete codes, e.g. the single-symbol case) and routes the caller
+// to the reference decoder for exact error reporting.
+const (
+	entryLenMask = 0x1F
+	entryLink    = 0x20
+	entryShift   = 6
+)
 
 var (
 	// ErrCorrupt is returned when a bitstream does not decode to a valid
@@ -35,15 +66,21 @@ var (
 type Codec struct {
 	numSymbols int
 	lengths    []uint8  // per-symbol code length, 0 = unused symbol
-	codes      []uint32 // per-symbol canonical code (MSB-first)
+	enc        []uint32 // per-symbol packed (code<<5 | length), 0 = no code
 
-	// Decoding acceleration: firstCode[l] is the canonical code value of the
-	// first code of length l; index[l] is the offset into sorted where codes
-	// of length l begin; sorted lists symbols ordered by (length, symbol).
+	// Reference-decoder acceleration: firstCode[l] is the canonical code
+	// value of the first code of length l; index[l] is the offset into
+	// sorted where codes of length l begin; sorted lists symbols ordered by
+	// (length, symbol).
 	firstCode [MaxCodeLen + 2]uint32
 	index     [MaxCodeLen + 2]int32
 	sorted    []int32
 	maxLen    uint8
+
+	// Table decoder: primary table of 1<<tableBits entries followed by the
+	// secondary tables for codes longer than tableBits.
+	tableBits uint
+	table     []uint32
 }
 
 type hNode struct {
@@ -82,8 +119,9 @@ func NewCodec(frequencies []uint64) (*Codec, error) {
 	if len(frequencies) == 0 {
 		return nil, errors.New("huffman: empty alphabet")
 	}
-	freqs := make([]uint64, len(frequencies))
-	copy(freqs, frequencies)
+	freqs := sched.GetUint64s(len(frequencies))
+	freqs = append(freqs, frequencies...)
+	defer sched.PutUint64s(freqs)
 
 	for attempt := 0; ; attempt++ {
 		lengths, err := buildLengths(freqs)
@@ -198,7 +236,7 @@ func newCodecFromLengths(lengths []uint8) (*Codec, error) {
 		code += counts[l]
 	}
 	// Assign codes symbol-ascending within each length (canonical order).
-	c.codes = make([]uint32, len(lengths))
+	c.enc = make([]uint32, len(lengths))
 	c.sorted = make([]int32, used)
 	type sl struct {
 		sym int32
@@ -219,12 +257,83 @@ func newCodecFromLengths(lengths []uint8) (*Codec, error) {
 	pos := make([]int32, MaxCodeLen+2)
 	copy(pos, c.index[:])
 	for _, e := range order {
-		c.codes[e.sym] = next[e.l]
+		c.enc[e.sym] = next[e.l]<<5 | uint32(e.l)
 		next[e.l]++
 		c.sorted[pos[e.l]] = e.sym
 		pos[e.l]++
 	}
+	c.buildDecodeTable()
 	return c, nil
+}
+
+// code returns the canonical code bits of symbol s (which must have one).
+func (c *Codec) code(s int32) uint32 { return c.enc[s] >> 5 }
+
+// buildDecodeTable constructs the primary + secondary lookup tables from
+// the already-assigned canonical codes. Every bit pattern that starts a
+// valid code maps to a filled entry; patterns outside the code (possible
+// only for incomplete codes) stay zero.
+func (c *Codec) buildDecodeTable() {
+	tb := uint(c.maxLen)
+	if tb > primaryBits {
+		tb = primaryBits
+	}
+	c.tableBits = tb
+	prim := uint32(1) << tb
+
+	// Width of each prefix's secondary table: the longest code sharing that
+	// primary index determines how many extra bits it must resolve.
+	var subBits []uint8
+	total := prim
+	if uint(c.maxLen) > tb {
+		subBits = make([]uint8, prim)
+		for _, s := range c.sorted {
+			l := uint(c.lengths[s])
+			if l <= tb {
+				continue
+			}
+			prefix := c.code(s) >> (l - tb)
+			if x := uint8(l - tb); x > subBits[prefix] {
+				subBits[prefix] = x
+			}
+		}
+		for _, b := range subBits {
+			if b > 0 {
+				total += uint32(1) << b
+			}
+		}
+	}
+	c.table = make([]uint32, total)
+
+	// Link entries first, so long-code filling can locate its table.
+	nextBase := prim
+	for prefix, b := range subBits {
+		if b > 0 {
+			c.table[prefix] = nextBase<<entryShift | entryLink | uint32(b)
+			nextBase += uint32(1) << b
+		}
+	}
+	for _, s := range c.sorted {
+		l := uint(c.lengths[s])
+		entry := uint32(s)<<entryShift | uint32(l)
+		if l <= tb {
+			// Short code: replicate over every suffix of the primary index.
+			base := c.code(s) << (tb - l)
+			for j := uint32(0); j < 1<<(tb-l); j++ {
+				c.table[base+j] = entry
+			}
+			continue
+		}
+		code := c.code(s)
+		link := c.table[code>>(l-tb)]
+		base := link >> entryShift
+		b := uint(link & entryLenMask)
+		low := code & (1<<(l-tb) - 1)
+		start := base + low<<(b-(l-tb))
+		for j := uint32(0); j < 1<<(b-(l-tb)); j++ {
+			c.table[start+j] = entry
+		}
+	}
 }
 
 // Lengths returns the per-symbol code length table for serialization. The
@@ -241,14 +350,17 @@ func (c *Codec) CodeLen(s int) uint8 { return c.lengths[s] }
 // panics: it indicates the frequency table the codec was built from did not
 // cover the data.
 func (c *Codec) Encode(w *bitio.Writer, s int) {
-	l := c.lengths[s]
-	if l == 0 {
+	e := c.enc[s]
+	if e == 0 {
 		panic(fmt.Sprintf("huffman: symbol %d has no code", s))
 	}
-	w.WriteBits(uint64(c.codes[s]), uint(l))
+	w.WriteBits(uint64(e>>5), uint(e&entryLenMask))
 }
 
-// Decode reads one symbol from r.
+// Decode reads one symbol from r bit-by-bit over the canonical first-code
+// ladder. It is the reference decoder: DecodeFast and the bulk decoders are
+// differentially tested against it, and delegate to it on truncated or
+// invalid streams so error semantics are identical across paths.
 func (c *Codec) Decode(r *bitio.Reader) (int, error) {
 	var code uint32
 	for l := uint8(1); l <= c.maxLen; l++ {
@@ -273,58 +385,164 @@ func (c *Codec) Decode(r *bitio.Reader) (int, error) {
 	return 0, ErrCorrupt
 }
 
-// EncodeAll encodes a full symbol sequence and returns header+payload bytes:
-// the length table (varint count + raw lengths) followed by the bit-packed
-// codes. Use DecodeAll to reverse.
-func EncodeAll(symbols []int, alphabet int) ([]byte, error) {
-	freqs := make([]uint64, alphabet)
-	for _, s := range symbols {
+// decodeFast resolves one symbol through the lookup tables. ok reports
+// whether the fast path applied; on false nothing was consumed and the
+// caller must take the reference path (stream truncated mid-code, or the
+// peeked pattern is no code's prefix).
+func (c *Codec) decodeFast(r *bitio.Reader) (s int, ok bool) {
+	if len(c.table) == 0 {
+		return 0, false // empty code: no symbol can decode
+	}
+	r.Refill()
+	e := c.table[r.Peek(c.tableBits)]
+	if e&entryLink != 0 {
+		sub := uint(e & entryLenMask)
+		e = c.table[e>>entryShift+uint32(r.Peek(c.tableBits+sub)&(1<<sub-1))]
+	}
+	n := uint(e & entryLenMask)
+	// After Refill the accumulator holds min(56, BitsRemaining) bits and
+	// every code fits in 24, so n exceeding Buffered means the stream ends
+	// mid-code.
+	if n == 0 || n > r.Buffered() {
+		return 0, false
+	}
+	r.Consume(n)
+	return int(e >> entryShift), true
+}
+
+// DecodeFast reads one symbol via the multi-bit table decoder. It returns
+// exactly what Decode would — same symbols, same errors, same stream
+// position — one table probe at a time instead of one bit at a time.
+func (c *Codec) DecodeFast(r *bitio.Reader) (int, error) {
+	if s, ok := c.decodeFast(r); ok {
+		return s, nil
+	}
+	return c.Decode(r)
+}
+
+// symbol constrains the integer element types the bulk coders move.
+type symbol interface{ ~int | ~uint16 }
+
+// encodeSeq is the shared bulk encoder: histogram (pooled scratch), codec
+// construction, then header + packed codes into a pooled output buffer.
+func encodeSeq[E symbol](symbols []E, alphabet int) ([]byte, error) {
+	freqs := sched.GetUint64s(alphabet)[:alphabet]
+	clear(freqs)
+	for _, v := range symbols {
+		s := int(v)
 		if s < 0 || s >= alphabet {
+			sched.PutUint64s(freqs)
 			return nil, fmt.Errorf("huffman: symbol %d out of alphabet [0,%d)", s, alphabet)
 		}
 		freqs[s]++
 	}
 	c, err := NewCodec(freqs)
+	sched.PutUint64s(freqs)
 	if err != nil {
 		return nil, err
 	}
-	w := bitio.NewWriter(len(symbols)/2 + 64)
-	writeLengthTable(w, c.Lengths())
+	w := bitio.NewWriterBuffer(sched.GetBytes(len(symbols)/2 + 64))
+	writeLengthTable(w, c.lengths)
 	w.WriteBits(uint64(len(symbols)), 32)
-	for _, s := range symbols {
-		c.Encode(w, s)
+	enc := c.enc
+	for _, v := range symbols {
+		e := enc[v]
+		if e == 0 {
+			panic(fmt.Sprintf("huffman: symbol %d has no code", int(v)))
+		}
+		w.WriteBits(uint64(e>>5), uint(e&entryLenMask))
 	}
 	return w.Bytes(), nil
 }
 
-// DecodeAll reverses EncodeAll.
-func DecodeAll(data []byte, alphabet int) ([]int, error) {
-	r := bitio.NewReader(data)
+// decodeSeq is the shared bulk decoder: rebuild the codec from the length
+// table, then fill out through the table decoder, falling back to the
+// reference decoder at the stream tail or on corruption.
+func decodeSeq[E symbol](r *bitio.Reader, c *Codec, out []E) error {
+	for i := range out {
+		s, ok := c.decodeFast(r)
+		if !ok {
+			var err error
+			if s, err = c.Decode(r); err != nil {
+				return err
+			}
+		}
+		out[i] = E(s)
+	}
+	return nil
+}
+
+// decodeHeader reads the length table and symbol count shared by the bulk
+// decoders, returning the rebuilt codec.
+func decodeHeader(r *bitio.Reader, alphabet int) (*Codec, int, error) {
 	lengths, err := readLengthTable(r, alphabet)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	c, err := NewCodecFromLengths(lengths)
+	c, err := newCodecFromLengths(lengths)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n64, err := r.ReadBits(32)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := int(n64)
 	// Every symbol costs at least one bit, so a count exceeding the
 	// remaining stream is corruption — reject before allocating.
 	if n > r.BitsRemaining() {
-		return nil, ErrCorrupt
+		return nil, 0, ErrCorrupt
+	}
+	return c, n, nil
+}
+
+// EncodeAll encodes a full symbol sequence and returns header+payload bytes:
+// the length table (varint count + raw lengths) followed by the bit-packed
+// codes. Use DecodeAll to reverse. The returned buffer comes from the
+// shared sched byte pool; callers that copy it elsewhere should recycle it
+// via sched.PutBytes.
+func EncodeAll(symbols []int, alphabet int) ([]byte, error) {
+	return encodeSeq(symbols, alphabet)
+}
+
+// EncodeAllU16 is EncodeAll for the uint16 symbol pipeline the quantization
+// stages use (codes ≤ 4096 fit in 16 bits, halving traffic and letting the
+// scratch come from the sched pools). The wire format is identical to
+// EncodeAll's.
+func EncodeAllU16(symbols []uint16, alphabet int) ([]byte, error) {
+	return encodeSeq(symbols, alphabet)
+}
+
+// DecodeAll reverses EncodeAll into a freshly allocated []int.
+func DecodeAll(data []byte, alphabet int) ([]int, error) {
+	r := bitio.NewReader(data)
+	c, n, err := decodeHeader(r, alphabet)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		s, err := c.Decode(r)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
+	if err := decodeSeq(r, c, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeAllU16 reverses EncodeAll/EncodeAllU16 into a buffer drawn from the
+// sched uint16 pool; the caller owns it and should recycle it via
+// sched.PutUint16s. The alphabet must fit uint16 symbols (≤ 65536).
+func DecodeAllU16(data []byte, alphabet int) ([]uint16, error) {
+	if alphabet > 1<<16 {
+		return nil, fmt.Errorf("huffman: alphabet %d exceeds uint16 symbols", alphabet)
+	}
+	r := bitio.NewReader(data)
+	c, n, err := decodeHeader(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	out := sched.GetUint16s(n)[:n]
+	if err := decodeSeq(r, c, out); err != nil {
+		sched.PutUint16s(out)
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,265 @@
+package huffman
+
+// Differential tests pitting the table-driven decoder against the retained
+// bit-by-bit reference decoder: on any input — well-formed, truncated, or
+// bit-flipped — the two must produce identical symbols, identical errors,
+// and identical stream positions.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/sched"
+)
+
+// Mirrors of ebcl's quantizer constants (huffman cannot import ebcl in
+// tests without a cycle): alphabet 2·2048 with escape code 0.
+const (
+	quantRadius   = 2048
+	quantAlphabet = 2 * quantRadius
+	quantEscape   = 0
+)
+
+// decodeAllRef mirrors DecodeAll using only the reference decoder.
+func decodeAllRef(data []byte, alphabet int) ([]int, error) {
+	r := bitio.NewReader(data)
+	c, n, err := decodeHeader(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		s, err := c.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// diffDecode decodes data with both decoders and fails the test on any
+// divergence. It returns whichever succeeded (nil on agreed error).
+func diffDecode(t *testing.T, data []byte, alphabet int) []int {
+	t.Helper()
+	fast, fastErr := DecodeAll(data, alphabet)
+	ref, refErr := decodeAllRef(data, alphabet)
+	if (fastErr == nil) != (refErr == nil) {
+		t.Fatalf("decoder divergence: table err=%v, reference err=%v", fastErr, refErr)
+	}
+	if fastErr != nil {
+		if fastErr.Error() != refErr.Error() {
+			t.Fatalf("error divergence: table %v, reference %v", fastErr, refErr)
+		}
+		return nil
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("length divergence: table %d, reference %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Fatalf("symbol %d divergence: table %d, reference %d", i, fast[i], ref[i])
+		}
+	}
+	return fast
+}
+
+// randomFreqs draws a frequency table whose shape varies from flat to
+// Fibonacci-deep, so the resulting codes cover short-only, mixed, and
+// secondary-table (length > primaryBits) regimes.
+func randomFreqs(rng *rand.Rand, alphabet int) []uint64 {
+	freqs := make([]uint64, alphabet)
+	switch rng.IntN(4) {
+	case 0: // flat-ish
+		for i := range freqs {
+			freqs[i] = uint64(rng.IntN(8))
+		}
+	case 1: // heavily skewed: one hot symbol, long tail
+		freqs[rng.IntN(alphabet)] = 1 << 20
+		for i := range freqs {
+			if rng.IntN(3) == 0 {
+				freqs[i] += uint64(rng.IntN(3))
+			}
+		}
+	case 2: // exponential decay forces deep codes
+		f := uint64(1)
+		for i := range freqs {
+			freqs[i] = f
+			if i%2 == 1 && f < 1<<40 {
+				f *= 2
+			}
+		}
+	default: // sparse
+		for range make([]struct{}, rng.IntN(alphabet)+1) {
+			freqs[rng.IntN(alphabet)] = uint64(rng.IntN(100) + 1)
+		}
+	}
+	// Ensure at least one symbol is coded.
+	freqs[rng.IntN(alphabet)] += 1
+	return freqs
+}
+
+func TestTableVsReferenceRandomTables(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 13))
+	for trial := 0; trial < 200; trial++ {
+		alphabet := rng.IntN(4096) + 2
+		c, err := NewCodec(randomFreqs(rng, alphabet))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Encode a random stream of coded symbols.
+		var coded []int
+		for s := 0; s < alphabet; s++ {
+			if c.CodeLen(s) > 0 {
+				coded = append(coded, s)
+			}
+		}
+		n := rng.IntN(512)
+		syms := make([]int, n)
+		w := bitio.NewWriter(0)
+		for i := range syms {
+			syms[i] = coded[rng.IntN(len(coded))]
+			c.Encode(w, syms[i])
+		}
+		data := w.Bytes()
+
+		// Symbol-by-symbol: both decoders must agree on value and position.
+		fr, rr := bitio.NewReader(data), bitio.NewReader(data)
+		for i := range syms {
+			fs, fe := c.DecodeFast(fr)
+			rs, re := c.Decode(rr)
+			if fe != nil || re != nil {
+				t.Fatalf("trial %d sym %d: unexpected errors %v / %v", trial, i, fe, re)
+			}
+			if fs != rs || fs != syms[i] {
+				t.Fatalf("trial %d sym %d: table %d reference %d want %d", trial, i, fs, rs, syms[i])
+			}
+			if fr.BitsRemaining() != rr.BitsRemaining() {
+				t.Fatalf("trial %d sym %d: position divergence %d vs %d bits",
+					trial, i, fr.BitsRemaining(), rr.BitsRemaining())
+			}
+		}
+	}
+}
+
+func TestTableVsReferenceAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 29))
+	for trial := 0; trial < 100; trial++ {
+		alphabet := rng.IntN(1000) + 2
+		n := rng.IntN(300) + 1
+		syms := make([]int, n)
+		for i := range syms {
+			// Skewed so codes of many lengths appear.
+			syms[i] = int(float64(alphabet) * rng.Float64() * rng.Float64())
+		}
+		enc, err := EncodeAll(syms, alphabet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffDecode(t, enc, alphabet)
+
+		// Truncations must agree (typically: both error).
+		for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+			if cut < len(enc) {
+				diffDecode(t, enc[:cut], alphabet)
+			}
+		}
+		// Bit flips must agree — anywhere in header, table, or payload.
+		for flips := 0; flips < 8; flips++ {
+			mut := append([]byte(nil), enc...)
+			pos := rng.IntN(len(mut))
+			mut[pos] ^= 1 << rng.IntN(8)
+			diffDecode(t, mut, alphabet)
+		}
+	}
+}
+
+func TestDecodeAllU16MatchesDecodeAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	syms := make([]uint16, 5000)
+	for i := range syms {
+		syms[i] = uint16(rng.IntN(quantAlphabet))
+	}
+	enc, err := EncodeAllU16(syms, quantAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := DecodeAll(enc, quantAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := DecodeAllU16(enc, quantAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.PutUint16s(narrow)
+	if len(wide) != len(narrow) || len(narrow) != len(syms) {
+		t.Fatalf("lengths %d / %d / %d", len(wide), len(narrow), len(syms))
+	}
+	for i := range syms {
+		if uint16(wide[i]) != narrow[i] || narrow[i] != syms[i] {
+			t.Fatalf("symbol %d: int %d u16 %d want %d", i, wide[i], narrow[i], syms[i])
+		}
+	}
+	if _, err := DecodeAllU16(enc, 1<<16+1); err == nil {
+		t.Fatal("want error for alphabet exceeding uint16")
+	}
+}
+
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	// Seed corpus: valid streams over several alphabets plus raw junk.
+	seed1, _ := EncodeAll([]int{1, 2, 3, 3, 3, 0, 7}, 8)
+	rng := rand.New(rand.NewPCG(1, 9))
+	quant := make([]uint16, 600)
+	for i := range quant {
+		quant[i] = uint16(quantRadius + int(rng.NormFloat64()*4))
+	}
+	seed2, _ := EncodeAllU16(quant, quantAlphabet)
+	f.Add(seed1, uint16(8))
+	f.Add(seed2, uint16(quantAlphabet))
+	f.Add([]byte{0x00, 0x01, 0xFF}, uint16(300))
+	f.Add(seed2[:len(seed2)/2], uint16(quantAlphabet))
+
+	f.Fuzz(func(t *testing.T, data []byte, alphaSel uint16) {
+		alphabet := int(alphaSel)%4096 + 1
+
+		// Round trip: bytes reduced into the alphabet must survive
+		// encode → decode exactly.
+		syms := make([]uint16, len(data))
+		for i, b := range data {
+			syms[i] = uint16(int(b) % alphabet)
+		}
+		enc, err := EncodeAllU16(syms, alphabet)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := DecodeAllU16(enc, alphabet)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if len(dec) != len(syms) {
+			t.Fatalf("round trip length %d want %d", len(dec), len(syms))
+		}
+		for i := range syms {
+			if dec[i] != syms[i] {
+				t.Fatalf("round trip symbol %d: got %d want %d", i, dec[i], syms[i])
+			}
+		}
+		sched.PutUint16s(dec)
+		sched.PutBytes(enc)
+
+		// Differential: the raw input treated as a stream must decode (or
+		// fail) identically under the table and reference decoders.
+		fast, fastErr := DecodeAll(data, alphabet)
+		ref, refErr := decodeAllRef(data, alphabet)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("decoder divergence: table err=%v, reference err=%v", fastErr, refErr)
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("symbol %d divergence: table %d reference %d", i, fast[i], ref[i])
+			}
+		}
+	})
+}

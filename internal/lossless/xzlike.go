@@ -48,7 +48,7 @@ func (c *XZLike) Compress(src []byte) ([]byte, error) {
 		sched.PutBytes(work) // lzParse copied what it needs into lits
 	}
 
-	ctl := make([]byte, 0, len(seqs)*5)
+	ctl := sched.GetBytes(len(seqs)*5 + 16)
 	ctl = appendUvarint(ctl, uint64(len(seqs)))
 	for _, s := range seqs {
 		ctl = appendUvarint(ctl, uint64(s.litLen))
@@ -62,20 +62,25 @@ func (c *XZLike) Compress(src []byte) ([]byte, error) {
 
 	litBlob, litMode, err := encodeLiterals(lits)
 	if err != nil {
+		sched.PutBytes(ctl)
 		return nil, err
 	}
 	ctlBlob, ctlMode, err := encodeLiterals(ctl)
+	sched.PutBytes(ctl)
 	if err != nil {
+		sched.PutBytes(litBlob)
 		return nil, err
 	}
 
-	out := make([]byte, 0, len(litBlob)+len(ctlBlob)+16)
+	out := sched.GetBytes(len(litBlob) + len(ctlBlob) + 16)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
 	out = append(out, shuffled, litMode, ctlMode)
 	out = appendUvarint(out, uint64(len(litBlob)))
 	out = append(out, litBlob...)
+	sched.PutBytes(litBlob)
 	out = appendUvarint(out, uint64(len(ctlBlob)))
 	out = append(out, ctlBlob...)
+	sched.PutBytes(ctlBlob)
 	return out, nil
 }
 

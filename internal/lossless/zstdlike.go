@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"repro/internal/huffman"
+	"repro/internal/sched"
 )
 
 // ZstdLike is a Zstandard-inspired codec: the same LZ77 factorization with a
@@ -36,11 +37,12 @@ func (c *ZstdLike) Compress(src []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, len(litBlob)+len(seqs)*4+16)
+	out := sched.GetBytes(len(litBlob) + len(seqs)*4 + 16)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
 	out = append(out, litMode)
 	out = appendUvarint(out, uint64(len(litBlob)))
 	out = append(out, litBlob...)
+	sched.PutBytes(litBlob)
 	out = appendUvarint(out, uint64(len(seqs)))
 	for _, s := range seqs {
 		out = appendUvarint(out, uint64(s.litLen))
@@ -106,22 +108,25 @@ func (c *ZstdLike) Decompress(src []byte) ([]byte, error) {
 }
 
 // encodeLiterals Huffman-codes lits when that wins; otherwise stores raw.
+// The returned blob always comes from the sched byte pool; the caller must
+// recycle it via sched.PutBytes after copying it into the frame.
 func encodeLiterals(lits []byte) (blob []byte, mode byte, err error) {
-	if len(lits) < 64 {
-		return append([]byte(nil), lits...), 0, nil
+	if len(lits) >= 64 {
+		syms := sched.GetUint16s(len(lits))[:len(lits)]
+		for i, b := range lits {
+			syms[i] = uint16(b)
+		}
+		enc, err := huffman.EncodeAllU16(syms, 256)
+		sched.PutUint16s(syms)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(enc) < len(lits) {
+			return enc, 1, nil
+		}
+		sched.PutBytes(enc)
 	}
-	syms := make([]int, len(lits))
-	for i, b := range lits {
-		syms[i] = int(b)
-	}
-	enc, err := huffman.EncodeAll(syms, 256)
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(enc) < len(lits) {
-		return enc, 1, nil
-	}
-	return append([]byte(nil), lits...), 0, nil
+	return append(sched.GetBytes(len(lits)), lits...), 0, nil
 }
 
 func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
@@ -129,7 +134,7 @@ func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
 	case 0:
 		return blob, nil
 	case 1:
-		syms, err := huffman.DecodeAll(blob, 256)
+		syms, err := huffman.DecodeAllU16(blob, 256)
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +142,7 @@ func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
 		for i, s := range syms {
 			out[i] = byte(s)
 		}
+		sched.PutUint16s(syms)
 		return out, nil
 	default:
 		return nil, ErrCorrupt

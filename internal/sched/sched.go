@@ -153,33 +153,73 @@ func (g *Group) Wait() { g.wg.Wait() }
 // partition, well above the per-tensor sizes the pipeline sees).
 const maxPooledBytes = 64 << 20
 
-var bytePool = sync.Pool{New: func() any { return new([]byte) }}
+// slicePool is the shared implementation behind the typed Get/Put pairs: a
+// sync.Pool of slice headers handing out zero-length slices with enough
+// capacity. elemSize bounds retention in bytes, not elements, so every
+// element type shares the same 64 MiB ceiling.
+type slicePool[T any] struct {
+	pool     sync.Pool
+	elemSize int
+}
+
+func newSlicePool[T any](elemSize int) *slicePool[T] {
+	return &slicePool[T]{
+		pool:     sync.Pool{New: func() any { return new([]T) }},
+		elemSize: elemSize,
+	}
+}
+
+func (p *slicePool[T]) get(n int) []T {
+	sp := p.pool.Get().(*[]T)
+	s := *sp
+	*sp = nil
+	p.pool.Put(sp)
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
+}
+
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) == 0 || cap(s)*p.elemSize > maxPooledBytes {
+		return
+	}
+	s = s[:0]
+	sp := p.pool.Get().(*[]T)
+	*sp = s
+	p.pool.Put(sp)
+}
+
+var (
+	bytePool = newSlicePool[byte](1)
+	u16Pool  = newSlicePool[uint16](2)
+	u64Pool  = newSlicePool[uint64](8)
+)
 
 // GetBytes returns a zero-length byte slice with capacity at least n,
 // reusing a pooled buffer when one is large enough. Pass the result to
 // PutBytes when it is no longer referenced anywhere.
-func GetBytes(n int) []byte {
-	bp := bytePool.Get().(*[]byte)
-	b := *bp
-	*bp = nil
-	bytePool.Put(bp)
-	if cap(b) < n {
-		return make([]byte, 0, n)
-	}
-	return b[:0]
-}
+func GetBytes(n int) []byte { return bytePool.get(n) }
 
 // PutBytes recycles b for a future GetBytes. The caller must not retain
 // any reference (including sub-slices) to b afterwards.
-func PutBytes(b []byte) {
-	if cap(b) == 0 || cap(b) > maxPooledBytes {
-		return
-	}
-	b = b[:0]
-	bp := bytePool.Get().(*[]byte)
-	*bp = b
-	bytePool.Put(bp)
-}
+func PutBytes(b []byte) { bytePool.put(b) }
+
+// GetUint16s returns a zero-length uint16 slice with capacity at least n —
+// the scratch type the entropy stage moves quantization codes in.
+func GetUint16s(n int) []uint16 { return u16Pool.get(n) }
+
+// PutUint16s recycles s for a future GetUint16s. The caller must not retain
+// any reference to s afterwards.
+func PutUint16s(s []uint16) { u16Pool.put(s) }
+
+// GetUint64s returns a zero-length uint64 slice with capacity at least n
+// (Huffman frequency-count scratch).
+func GetUint64s(n int) []uint64 { return u64Pool.get(n) }
+
+// PutUint64s recycles s for a future GetUint64s. The caller must not retain
+// any reference to s afterwards.
+func PutUint64s(s []uint64) { u64Pool.put(s) }
 
 // readChunk is ReadFullPooled's growth step: allocation tracks bytes
 // actually received, so a hostile length prefix cannot force a large
@@ -211,29 +251,12 @@ func ReadFullPooled(r io.Reader, n int) ([]byte, error) {
 	return buf, nil
 }
 
-var floatPool = sync.Pool{New: func() any { return new([]float32) }}
+var floatPool = newSlicePool[float32](4)
 
 // GetFloats returns a zero-length float32 slice with capacity at least n,
 // reusing a pooled buffer when one is large enough.
-func GetFloats(n int) []float32 {
-	fp := floatPool.Get().(*[]float32)
-	f := *fp
-	*fp = nil
-	floatPool.Put(fp)
-	if cap(f) < n {
-		return make([]float32, 0, n)
-	}
-	return f[:0]
-}
+func GetFloats(n int) []float32 { return floatPool.get(n) }
 
 // PutFloats recycles f for a future GetFloats. The caller must not retain
 // any reference to f afterwards.
-func PutFloats(f []float32) {
-	if cap(f) == 0 || cap(f)*4 > maxPooledBytes {
-		return
-	}
-	f = f[:0]
-	fp := floatPool.Get().(*[]float32)
-	*fp = f
-	floatPool.Put(fp)
-}
+func PutFloats(f []float32) { floatPool.put(f) }

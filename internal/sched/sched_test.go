@@ -198,6 +198,34 @@ func TestFloatPoolRoundTrip(t *testing.T) {
 	PutFloats(nil)
 }
 
+func TestUint16PoolRoundTrip(t *testing.T) {
+	s := GetUint16s(128)
+	if len(s) != 0 || cap(s) < 128 {
+		t.Fatalf("len=%d cap=%d", len(s), cap(s))
+	}
+	s = append(s, 7)
+	PutUint16s(s)
+	g := GetUint16s(16)
+	if len(g) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(g))
+	}
+	PutUint16s(nil)
+}
+
+func TestUint64PoolRoundTrip(t *testing.T) {
+	s := GetUint64s(32)
+	if len(s) != 0 || cap(s) < 32 {
+		t.Fatalf("len=%d cap=%d", len(s), cap(s))
+	}
+	s = append(s, 9)
+	PutUint64s(s)
+	g := GetUint64s(4)
+	if len(g) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(g))
+	}
+	PutUint64s(nil)
+}
+
 func BenchmarkForEachOverhead(b *testing.B) {
 	p := NewPool(0)
 	var sink atomic.Int64

@@ -76,7 +76,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	nBlocks := (len(data) + blockSize - 1) / blockSize
 	predKinds := make([]byte, nBlocks)
 	coeffs := make([]float32, 0, 16)
-	codes := make([]int, len(data))
+	codes := sched.GetUint16s(len(data))[:len(data)]
 	literals := sched.GetFloats(len(data) / 64)
 
 	prevRecon := 0.0 // Lorenzo state: last reconstructed value
@@ -103,12 +103,13 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 				prevRecon = float64(v)
 				continue
 			}
-			codes[lo+i] = code
+			codes[lo+i] = uint16(code)
 			prevRecon = float64(recon)
 		}
 	}
 
-	codeBlob, err := huffman.EncodeAll(codes, ebcl.QuantAlphabet)
+	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
+	sched.PutUint16s(codes)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +119,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(coeffs))
 	payload = ebcl.AppendSection(payload, codeBlob)
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+	sched.PutBytes(codeBlob)
 	sched.PutFloats(literals)
 
 	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, len(data), ebcl.LayoutFull)
@@ -185,10 +187,11 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
-	codes, err := huffman.DecodeAll(codeBlob, ebcl.QuantAlphabet)
+	codes, err := huffman.DecodeAllU16(codeBlob, ebcl.QuantAlphabet)
 	if err != nil {
 		return nil, err
 	}
+	defer sched.PutUint16s(codes)
 	if len(codes) != n {
 		return nil, ebcl.ErrCorrupt
 	}
@@ -234,7 +237,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 			} else {
 				pred = float64(a)*float64(i-lo) + float64(bb)
 			}
-			out[i] = q.Dequantize(code, pred)
+			out[i] = q.Dequantize(int(code), pred)
 			prevRecon = float64(out[i])
 		}
 	}

@@ -65,7 +65,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	n := len(data)
 	q := ebcl.NewQuantizer(ebAbs)
 	recon := make([]float64, n)
-	codes := make([]int, 0, n)
+	codes := sched.GetUint16s(n)
 	var literals []float32
 	var levelKinds []byte
 
@@ -78,7 +78,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 			recon[i] = float64(data[i])
 			return
 		}
-		codes = append(codes, code)
+		codes = append(codes, uint16(code))
 		recon[i] = float64(rec)
 	}
 	quantizePoint(0, 0)
@@ -95,7 +95,8 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		}
 	}
 
-	codeBlob, err := huffman.EncodeAll(codes, ebcl.QuantAlphabet)
+	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
+	sched.PutUint16s(codes)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +104,7 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	payload = ebcl.AppendSection(payload, levelKinds)
 	payload = ebcl.AppendSection(payload, codeBlob)
 	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+	sched.PutBytes(codeBlob)
 
 	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, n, ebcl.LayoutFull)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
@@ -161,10 +163,11 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
-	codes, err := huffman.DecodeAll(codeBlob, ebcl.QuantAlphabet)
+	codes, err := huffman.DecodeAllU16(codeBlob, ebcl.QuantAlphabet)
 	if err != nil {
 		return nil, err
 	}
+	defer sched.PutUint16s(codes)
 	if len(codes) != n {
 		return nil, ebcl.ErrCorrupt
 	}
@@ -190,7 +193,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 			out[i] = literals[litIdx]
 			litIdx++
 		} else {
-			out[i] = q.Dequantize(code, pred)
+			out[i] = q.Dequantize(int(code), pred)
 		}
 		recon[i] = float64(out[i])
 		return nil

@@ -156,41 +156,48 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	}
 	r := bitio.NewReader(rest[8:])
 	nBlocks := (n + blockSize - 1) / blockSize
-	// Each block costs at least 1 flag bit + 32 value/config bits; reject
-	// impossible counts before allocating the output.
-	if nBlocks > 0 && r.BitsRemaining()/33 < nBlocks {
+	// Reject impossible block counts before allocating the output. A full
+	// block costs at least 33 bits (constant: 1+32; truncation: 6+9·128),
+	// while the final block may be partial — as small as one k=0 value,
+	// 1+5+9 = 15 bits.
+	if nBlocks > 0 && r.BitsRemaining() < (nBlocks-1)*33+15 {
 		return nil, ebcl.ErrCorrupt
 	}
 	out := make([]float32, n)
 	for b := 0; b < nBlocks; b++ {
 		lo := b * blockSize
 		hi := min(lo+blockSize, n)
-		flag, err := r.ReadBit()
-		if err != nil {
+		// One refill covers the whole block prelude: flag plus either the
+		// 32-bit constant or the 5-bit mantissa config (≤ 33 bits).
+		r.Refill()
+		if r.Buffered() < 1 {
 			return nil, ebcl.ErrCorrupt
 		}
-		if flag == 1 {
-			bits, err := r.ReadBits(32)
-			if err != nil {
+		if r.Peek(1) == 1 {
+			if r.Buffered() < 33 {
 				return nil, ebcl.ErrCorrupt
 			}
-			v := math.Float32frombits(uint32(bits))
+			v := math.Float32frombits(uint32(r.Peek(33)))
+			r.Consume(33)
 			for i := lo; i < hi; i++ {
 				out[i] = v
 			}
 			continue
 		}
-		k64, err := r.ReadBits(5)
-		if err != nil {
+		if r.Buffered() < 6 {
 			return nil, ebcl.ErrCorrupt
 		}
-		keep := uint(9 + k64)
+		keep := 9 + uint(r.Peek(6)&31)
+		r.Consume(6)
 		for i := lo; i < hi; i++ {
-			bits, err := r.ReadBits(keep)
-			if err != nil {
+			// keep ≤ 32 < 56, so a refill short of keep bits means the
+			// stream itself ends mid-value.
+			r.Refill()
+			if r.Buffered() < keep {
 				return nil, ebcl.ErrCorrupt
 			}
-			out[i] = math.Float32frombits(uint32(bits << (32 - keep)))
+			out[i] = math.Float32frombits(uint32(r.Peek(keep)) << (32 - keep))
+			r.Consume(keep)
 		}
 	}
 	return out, nil

@@ -18,6 +18,25 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// TestTinyTruncationBlock regression-tests the pre-decode size guard: a
+// single partial truncation block with k=0 encodes in just 1+5+9·n bits,
+// which the previous ≥33-bits-per-block estimate rejected as corrupt.
+func TestTinyTruncationBlock(t *testing.T) {
+	data := []float32{-1.9, 1.9}
+	c := szx.NewCompressor()
+	enc, err := c.Compress(data, ebcl.Abs(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress(enc)
+	if err != nil {
+		t.Fatalf("valid tiny truncation block rejected: %v", err)
+	}
+	if !ebcl.WithinBound(data, dec, 1.0) {
+		t.Fatalf("reconstruction %v out of bound for %v", dec, data)
+	}
+}
+
 func TestConstantBlockCollapse(t *testing.T) {
 	// The paper's key SZx observation: under a range-relative bound, blocks
 	// of small weights collapse to a single midpoint, erasing sign

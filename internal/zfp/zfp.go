@@ -264,31 +264,43 @@ func decodeBlock(r *bitio.Reader, block *[blockLen]float32, precision int) error
 	return nil
 }
 
+// planeMaxBits bounds one plane's encoding: blockLen significance bits plus
+// at most one group-test bit per value — the worst case alternates test and
+// value bits over the insignificant tail.
+const planeMaxBits = 2*blockLen + 1
+
 // encodePlane implements ZFP's embedded group-test coding of one bit plane.
 // sigCount values are already significant (in coefficient order) and emit
 // their plane bit verbatim; the insignificant tail is coded with a test bit
 // per group followed by a unary search for each newly significant value.
+// The plane's bits (≤ planeMaxBits) are packed locally and flushed with one
+// WriteBits call.
 func encodePlane(w *bitio.Writer, u *[blockLen]uint32, plane int, sigCount *int) {
-	bit := func(i int) uint { return uint(u[i]>>uint(plane)) & 1 }
+	bit := func(i int) uint64 { return uint64(u[i]>>uint(plane)) & 1 }
+	var acc uint64
+	var k uint
 	n := *sigCount
 	for i := 0; i < n; i++ {
-		w.WriteBit(bit(i))
+		acc = acc<<1 | bit(i)
+		k++
 	}
 	for n < blockLen {
-		any := uint(0)
+		any := uint64(0)
 		for j := n; j < blockLen; j++ {
 			if bit(j) == 1 {
 				any = 1
 				break
 			}
 		}
-		w.WriteBit(any)
+		acc = acc<<1 | any
+		k++
 		if any == 0 {
 			break
 		}
 		for {
 			b := bit(n)
-			w.WriteBit(b)
+			acc = acc<<1 | b
+			k++
 			n++
 			if b == 1 {
 				break
@@ -296,20 +308,35 @@ func encodePlane(w *bitio.Writer, u *[blockLen]uint32, plane int, sigCount *int)
 		}
 	}
 	*sigCount = n
+	w.WriteBits(acc, k)
 }
 
 func decodePlane(r *bitio.Reader, u *[blockLen]uint32, plane int, sigCount *int) error {
+	// One refill covers a whole plane (≤ planeMaxBits ≤ 9 bits): peek a
+	// window once, walk it locally, and consume the bits actually used.
+	r.Refill()
+	avail := r.Buffered()
+	win := r.Peek(planeMaxBits)
+	used := uint(0)
+	next := func() (uint32, bool) {
+		if used >= avail {
+			return 0, false
+		}
+		b := uint32(win>>(planeMaxBits-1-used)) & 1
+		used++
+		return b, true
+	}
 	n := *sigCount
 	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
+		b, ok := next()
+		if !ok {
 			return ebcl.ErrCorrupt
 		}
-		u[i] |= uint32(b) << uint(plane)
+		u[i] |= b << uint(plane)
 	}
 	for n < blockLen {
-		any, err := r.ReadBit()
-		if err != nil {
+		any, ok := next()
+		if !ok {
 			return ebcl.ErrCorrupt
 		}
 		if any == 0 {
@@ -319,11 +346,11 @@ func decodePlane(r *bitio.Reader, u *[blockLen]uint32, plane int, sigCount *int)
 		// one may not, so bound the scan instead of trusting the test bit.
 		found := false
 		for n < blockLen {
-			b, err := r.ReadBit()
-			if err != nil {
+			b, ok := next()
+			if !ok {
 				return ebcl.ErrCorrupt
 			}
-			u[n] |= uint32(b) << uint(plane)
+			u[n] |= b << uint(plane)
 			n++
 			if b == 1 {
 				found = true
@@ -335,6 +362,7 @@ func decodePlane(r *bitio.Reader, u *[blockLen]uint32, plane int, sigCount *int)
 		}
 	}
 	*sigCount = n
+	r.Consume(used)
 	return nil
 }
 
