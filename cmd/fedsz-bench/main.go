@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +70,7 @@ func main() {
 		mbps     = flag.Float64("mbps", 0, "throttle each client uplink to this bandwidth (with -serve; 0 = unthrottled)")
 		upload   = flag.String("upload", "", "upload to an external fedsz-serve at this address instead of an in-process server (with -serve)")
 		jsonOut  = flag.String("json", "", "measure the entropy stage + SZ2/SZ3 codec paths and write a machine-readable perf snapshot to this path ('-' for stdout)")
+		baseline = flag.String("baseline", "", "diff the -json snapshot against this committed baseline's schema (fields present, no NaNs)")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := runPerfSnapshot(os.Stdout, *jsonOut); err != nil {
+		if err := runPerfSnapshot(os.Stdout, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
@@ -149,34 +151,35 @@ func main() {
 	}
 }
 
-// buildUpdates synthesizes per-client compressed updates: same
-// architecture, different weights, like a real round's worth of deltas.
-func buildUpdates(nClients int, model string, scale float64, seed uint64, parallelism int) (streams [][]byte, rawBytes, wireBytes int, err error) {
-	updates := make([]*tensor.StateDict, nClients)
+// buildUpdates synthesizes per-client updates (same architecture,
+// different weights, like a real round's worth of deltas) and their
+// compressed streams.
+func buildUpdates(nClients int, model string, scale float64, seed uint64, parallelism int) (updates []*tensor.StateDict, streams [][]byte, rawBytes, wireBytes int, err error) {
+	updates = make([]*tensor.StateDict, nClients)
 	for i := range updates {
 		rng := rand.New(rand.NewPCG(seed, uint64(i)+1))
 		sd, err := models.BuildProfile(model, rng, scale)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, nil, 0, 0, err
 		}
 		updates[i] = sd
 		rawBytes += sd.SizeBytes()
 	}
-	streams, _, err = core.CompressAll(updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
+	streams, _, err = core.CompressAll(context.Background(), updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, 0, 0, err
 	}
 	for _, s := range streams {
 		wireBytes += len(s)
 	}
-	return streams, rawBytes, wireBytes, nil
+	return updates, streams, rawBytes, wireBytes, nil
 }
 
 // runStreamSim measures the full streaming ingest path — wire framing,
 // TCP loopback, decode-while-receiving, incremental FedAvg fold — against
 // the serial and batched in-memory decoders on the same payloads.
 func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model string, scale float64, seed uint64, uploadAddr string) error {
-	streams, rawBytes, wireBytes, err := buildUpdates(nClients, model, scale, seed, parallelism)
+	updates, streams, rawBytes, wireBytes, err := buildUpdates(nClients, model, scale, seed, parallelism)
 	if err != nil {
 		return err
 	}
@@ -199,7 +202,7 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 		{fmt.Sprintf("batched(%d)", sched.NewPool(parallelism).Parallelism()), parallelism},
 	} {
 		t0 := time.Now()
-		if _, _, err := core.DecompressAll(streams, mode.par); err != nil {
+		if _, _, err := core.DecompressAll(context.Background(), streams, mode.par); err != nil {
 			return err
 		}
 		report(mode.label, time.Since(t0), "")
@@ -225,7 +228,7 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 		go func(i int, s []byte) {
 			defer wg.Done()
 			c := &flserve.Client{Addr: addr, Link: link}
-			errs[i] = c.Upload(uint32(i), s)
+			errs[i] = c.Upload(context.Background(), uint32(i), s)
 		}(i, s)
 	}
 	wg.Wait()
@@ -254,6 +257,55 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 	fmt.Fprintf(w, "\ndecode work %v, read wait %v across %d connections\n",
 		st.DecodeWork.Round(time.Microsecond), st.ReadWait.Round(time.Microsecond), st.Updates)
 	fmt.Fprintf(w, "overlap ratio %.2f: fraction of decode hidden behind receive\n", st.OverlapRatio())
+
+	// Streaming *encode* path: each client compresses straight into its
+	// socket (core.CompressSections → wire frames), so upload overlaps the
+	// encode — the client-side mirror of the server's overlap above.
+	var agg2 flserve.Aggregator
+	srv2, err := flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg2.Add})
+	if err != nil {
+		return err
+	}
+	// Each client encodes on a pool with at least one helper so section
+	// writes can overlap later tensors' compression even on 1-CPU hosts
+	// (a helper compresses while the caller sleeps in the throttled
+	// write; a serial pool would compress inline, strictly before writes).
+	encPool := sched.NewPool(max(2, sched.NewPool(parallelism).Parallelism()))
+	encOverlap := make([]float64, nClients)
+	errs = make([]error, nClients)
+	t0 = time.Now()
+	for i, sd := range updates {
+		wg.Add(1)
+		go func(i int, sd *tensor.StateDict) {
+			defer wg.Done()
+			c := &flserve.Client{Addr: srv2.Addr().String(), Link: link}
+			stats, err := c.UploadState(context.Background(), uint32(i), sd,
+				core.Options{LossyParams: ebcl.Rel(1e-2)}, encPool)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			encOverlap[i] = stats.EncodeOverlapRatio()
+		}(i, sd)
+	}
+	wg.Wait()
+	dur = time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d streaming-encode upload: %w", i, err)
+		}
+	}
+	if err := srv2.Close(); err != nil {
+		return err
+	}
+	meanEnc := 0.0
+	for _, r := range encOverlap {
+		meanEnc += r / float64(nClients)
+	}
+	report("stream-enc", dur, fmt.Sprintf("encode overlap %.2f (client side, compress-while-send)", meanEnc))
+	if n := agg2.Count(); n != nClients {
+		return fmt.Errorf("stream-enc aggregated %d of %d updates", n, nClients)
+	}
 	return nil
 }
 
@@ -279,7 +331,7 @@ func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, 
 	}
 
 	t0 := time.Now()
-	streams, _, err := core.CompressAll(updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
+	streams, _, err := core.CompressAll(context.Background(), updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
 	if err != nil {
 		return err
 	}
@@ -303,7 +355,7 @@ func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, 
 	} {
 		for r := 0; r < rounds; r++ {
 			t0 := time.Now()
-			decoded, _, err := core.DecompressAll(streams, mode.par)
+			decoded, _, err := core.DecompressAll(context.Background(), streams, mode.par)
 			if err != nil {
 				return err
 			}

@@ -61,7 +61,7 @@ func TestPerfSnapshotSmoke(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "perf.json")
 	var sb strings.Builder
-	if err := runPerfSnapshot(&sb, path); err != nil {
+	if err := runPerfSnapshot(&sb, path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"os"
 	"runtime"
@@ -69,10 +70,58 @@ func quantSymbols(n int) []uint16 {
 	return syms
 }
 
+// checkPerfBaseline diffs a fresh snapshot against a committed baseline
+// schema-wise: same schema tag, every baseline benchmark and derived
+// metric still present, and every recorded number finite and positive
+// where it must be. It deliberately does not compare magnitudes — CI
+// containers are too noisy for that — it keeps the snapshots
+// machine-comparable across PRs.
+func checkPerfBaseline(snap *perfSnapshot, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf baseline: %w", err)
+	}
+	var base perfSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("perf baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != snap.Schema {
+		return fmt.Errorf("perf schema drifted: snapshot %q, baseline %q", snap.Schema, base.Schema)
+	}
+	have := map[string]perfEntry{}
+	for _, e := range snap.Benchmarks {
+		have[e.Name] = e
+	}
+	for _, b := range base.Benchmarks {
+		e, ok := have[b.Name]
+		if !ok {
+			return fmt.Errorf("perf baseline: benchmark %q missing from snapshot", b.Name)
+		}
+		if !(e.NsPerOp > 0) || math.IsNaN(e.NsPerOp) || math.IsInf(e.NsPerOp, 0) {
+			return fmt.Errorf("perf baseline: %q ns_per_op %v not finite-positive", b.Name, e.NsPerOp)
+		}
+		if math.IsNaN(e.MBPerS) || math.IsInf(e.MBPerS, 0) {
+			return fmt.Errorf("perf baseline: %q mb_per_s %v not finite", b.Name, e.MBPerS)
+		}
+	}
+	for k := range base.Derived {
+		v, ok := snap.Derived[k]
+		if !ok {
+			return fmt.Errorf("perf baseline: derived metric %q missing from snapshot", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("perf baseline: derived %q = %v not finite", k, v)
+		}
+	}
+	return nil
+}
+
 // runPerfSnapshot measures the entropy-stage decoders (table vs reference),
 // the bulk codec APIs, and the SZ2/SZ3 end-to-end paths, then writes the
-// JSON snapshot to outPath ("-" for stdout) and a human summary to w.
-func runPerfSnapshot(w io.Writer, outPath string) error {
+// JSON snapshot to outPath ("-" for stdout) and a human summary to w. A
+// non-empty baselinePath additionally diffs the snapshot against that
+// committed baseline's schema (fields present, values finite).
+func runPerfSnapshot(w io.Writer, outPath, baselinePath string) error {
 	prog := w
 	if outPath == "-" {
 		// Keep stdout machine-readable: progress lines go to stderr.
@@ -206,13 +255,21 @@ func runPerfSnapshot(w io.Writer, outPath string) error {
 	}
 	data = append(data, '\n')
 	if outPath == "-" {
-		_, err = w.Write(data)
-		return err
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(prog, "\nperf snapshot written to %s (speedup table vs reference: %.2fx)\n",
+			outPath, snap.Derived["huffman_decode_speedup_table_vs_reference"])
 	}
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
+	if baselinePath != "" {
+		if err := checkPerfBaseline(snap, baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(prog, "baseline %s: schema OK (all fields present, no NaNs)\n", baselinePath)
 	}
-	fmt.Fprintf(prog, "\nperf snapshot written to %s (speedup table vs reference: %.2fx)\n",
-		outPath, snap.Derived["huffman_decode_speedup_table_vs_reference"])
 	return nil
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -80,19 +81,17 @@ func run(in, out string, decompress bool, demo string, scale, eb float64, lossyN
 		return fmt.Errorf("need -in or -demo")
 	}
 
-	lossy, err := fedsz.CompressorByName(lossyName)
+	// The session API validates the whole configuration up front: a typo
+	// in -lossy or -lossless fails here, before any compression work.
+	codec, err := fedsz.New(
+		fedsz.WithCompressor(lossyName),
+		fedsz.WithRelBound(eb),
+		fedsz.WithLossless(codecName),
+	)
 	if err != nil {
 		return err
 	}
-	codec, err := fedsz.LosslessByName(codecName)
-	if err != nil {
-		return err
-	}
-	stream, stats, err := fedsz.Compress(sd, fedsz.Options{
-		Lossy:       lossy,
-		LossyParams: fedsz.RelBound(eb),
-		Lossless:    codec,
-	})
+	stream, stats, err := codec.Compress(context.Background(), sd)
 	if err != nil {
 		return err
 	}

@@ -36,6 +36,7 @@ func main() {
 		maxConns = flag.Int("max-conns", 0, "concurrent connection cap (0 = 4×GOMAXPROCS)")
 		updates  = flag.Int("updates", 0, "exit after N ingested updates (0 = run until interrupted)")
 		quiet    = flag.Bool("quiet", false, "suppress the per-update log lines")
+		upTO     = flag.Duration("upload-timeout", 0, "per-update deadline: clientID through ack (0 = no bound)")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 			close(stop)
 		}()
 	}
-	if err := serve(*addr, *parallel, *maxConns, *updates, *quiet, nil, stop, os.Stdout); err != nil {
+	if err := serve(*addr, *parallel, *maxConns, *updates, *upTO, *quiet, nil, stop, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,7 +58,7 @@ func main() {
 // serve runs the server until `updates` have been ingested (when > 0) or
 // stop closes. ready, when non-nil, receives the bound address once the
 // listener is up (the test hook for -addr :0).
-func serve(addr string, parallel, maxConns, updates int, quiet bool, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+func serve(addr string, parallel, maxConns, updates int, uploadTimeout time.Duration, quiet bool, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
 	var agg flserve.Aggregator
 	done := make(chan struct{})
 	var once sync.Once
@@ -80,7 +81,7 @@ func serve(addr string, parallel, maxConns, updates int, quiet bool, ready chan<
 		}
 		return nil
 	}
-	srv, err := flserve.Listen(addr, flserve.Config{Parallel: parallel, MaxConns: maxConns, Handler: handler})
+	srv, err := flserve.Listen(addr, flserve.Config{Parallel: parallel, MaxConns: maxConns, UploadTimeout: uploadTimeout, Handler: handler})
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,7 @@ func TestServeSmoke(t *testing.T) {
 	// afterwards is race-free.
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- serve("127.0.0.1:0", 2, 0, 3, false, ready, nil, &out)
+		errCh <- serve("127.0.0.1:0", 2, 0, 3, 0, false, ready, nil, &out)
 	}()
 	addr := <-ready
 

@@ -11,14 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	fedsz "repro"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/ebcl"
 	"repro/internal/fl"
 	"repro/internal/netsim"
 	"repro/internal/nn/models"
@@ -52,6 +51,7 @@ func run(model, ds string, rounds, nClients int, eb float64, lossyName string, n
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	train, test := dataset.Generate(dcfg)
 	shards := dataset.ShardIID(train, nClients, seed)
 	in := models.Input{Channels: dcfg.Channels, Height: dcfg.Height, Width: dcfg.Width, Classes: dcfg.Classes}
@@ -72,11 +72,13 @@ func run(model, ds string, rounds, nClients int, eb float64, lossyName string, n
 
 	var transport fl.Transport = fl.RawTransport{}
 	if !noCompress {
-		comp, err := fedsz.CompressorByName(lossyName)
+		// Build the pipeline configuration through the session API so a
+		// bad -lossy name or -eb value fails here, before any training.
+		codec, err := fedsz.New(fedsz.WithCompressor(lossyName), fedsz.WithRelBound(eb))
 		if err != nil {
 			return err
 		}
-		transport = fl.NewFedSZTransport(core.Options{Lossy: comp, LossyParams: ebcl.Rel(eb)})
+		transport = fl.NewFedSZTransport(codec.Options())
 	}
 	fed := fl.NewFederation(global, clients, transport, test)
 	link := netsim.Link{BandwidthMbps: bandwidth}
@@ -85,7 +87,7 @@ func run(model, ds string, rounds, nClients int, eb float64, lossyName string, n
 		model, ds, nClients, rounds, transport.Name())
 	fmt.Printf("%-6s %-8s %-10s %-12s %-12s %-10s\n", "round", "loss", "top1(%)", "wire(bytes)", "comm@link", "ratio")
 	for r := 0; r < rounds; r++ {
-		res, err := fed.RunRound(r, 1)
+		res, err := fed.RunRound(ctx, r, 1)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,279 @@
+package fedsz
+
+// Codec is the session-oriented public API: configuration is validated
+// once at construction (fedsz.New) instead of on every call, the codec
+// owns its parallelism budget, and every method takes a context so
+// callers get real deadlines and cancellation — the evolution from the
+// historical one-shot free functions, which remain as thin wrappers over
+// a package-level default codec.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/compressors"
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/lossless"
+	"repro/internal/sched"
+)
+
+// Codec is a reusable, configured FedSZ session. It is safe for
+// concurrent use: all methods may be called from any number of
+// goroutines, drawing per-tensor parallelism from the codec's one pool.
+//
+// Build one with New and reuse it — construction validates the
+// configuration (unknown compressor names, bad bounds) so the pipeline
+// never discovers a misconfiguration mid-stream, and a long-lived codec
+// is the object per-session state (parallelism budget, future retry
+// policy) hangs on.
+type Codec struct {
+	opts core.Options
+	pool *sched.Pool
+}
+
+// codecConfig accumulates functional options before validation.
+type codecConfig struct {
+	lossyName    string
+	lossy        Compressor
+	params       Params
+	hasParams    bool
+	losslessName string
+	lossless     LosslessCodec
+	parallelism  int
+	hasParallel  bool
+	threshold    int
+	noPartition  bool
+}
+
+// Option configures a Codec under construction; see New.
+type Option func(*codecConfig) error
+
+// WithCompressor selects the error-bounded lossy compressor by registry
+// name ("sz2", "sz3", "szx", "zfp", or a RegisterCompressor name). The
+// name resolves at New, so a typo fails construction, not a compress call
+// mid-pipeline.
+func WithCompressor(name string) Option {
+	return func(c *codecConfig) error {
+		c.lossyName, c.lossy = name, nil
+		return nil
+	}
+}
+
+// WithLossy supplies an explicit Compressor instance (for compressors not
+// in the registry).
+func WithLossy(comp Compressor) Option {
+	return func(c *codecConfig) error {
+		if comp == nil {
+			return fmt.Errorf("fedsz: WithLossy: nil compressor")
+		}
+		c.lossy, c.lossyName = comp, ""
+		return nil
+	}
+}
+
+// WithRelBound sets a value-range-relative error bound (the SZ convention;
+// the paper recommends 1e-2).
+func WithRelBound(eb float64) Option {
+	return func(c *codecConfig) error {
+		if eb <= 0 {
+			return fmt.Errorf("fedsz: relative error bound must be positive, got %g", eb)
+		}
+		c.params, c.hasParams = RelBound(eb), true
+		return nil
+	}
+}
+
+// WithAbsBound sets an absolute error bound.
+func WithAbsBound(eb float64) Option {
+	return func(c *codecConfig) error {
+		if eb <= 0 {
+			return fmt.Errorf("fedsz: absolute error bound must be positive, got %g", eb)
+		}
+		c.params, c.hasParams = AbsBound(eb), true
+		return nil
+	}
+}
+
+// WithParams sets the error-control parameters directly (e.g. the ZFP
+// fixed-precision mode).
+func WithParams(p Params) Option {
+	return func(c *codecConfig) error {
+		c.params, c.hasParams = p, true
+		return nil
+	}
+}
+
+// WithLossless selects the metadata-partition codec by registry name
+// ("blosclz", "zstdlike", "xzlike", "gzip", "zlib"), resolved at New.
+func WithLossless(name string) Option {
+	return func(c *codecConfig) error {
+		c.losslessName, c.lossless = name, nil
+		return nil
+	}
+}
+
+// WithLosslessCodec supplies an explicit LosslessCodec instance.
+func WithLosslessCodec(codec LosslessCodec) Option {
+	return func(c *codecConfig) error {
+		if codec == nil {
+			return fmt.Errorf("fedsz: WithLosslessCodec: nil codec")
+		}
+		c.lossless, c.losslessName = codec, ""
+		return nil
+	}
+}
+
+// WithParallelism gives the codec its own worker pool with the given
+// budget (0 selects GOMAXPROCS): every Compress/Decompress on this codec
+// — and the per-tensor fan-out inside each call — draws from that one
+// budget, so a server codec never oversubscribes the machine however many
+// connections feed it. Without this option the codec shares the
+// process-wide default pool.
+func WithParallelism(n int) Option {
+	return func(c *codecConfig) error {
+		if n < 0 {
+			return fmt.Errorf("fedsz: parallelism must be >= 0, got %d", n)
+		}
+		c.parallelism, c.hasParallel = n, true
+		return nil
+	}
+}
+
+// WithThreshold sets Algorithm 1's size gate: weight tensors with more
+// than n elements take the lossy path (0 keeps the default 1024; negative
+// disables the gate).
+func WithThreshold(n int) Option {
+	return func(c *codecConfig) error {
+		c.threshold = n
+		return nil
+	}
+}
+
+// WithoutPartitioning routes every tensor through the lossy path — the
+// ablation the paper warns causes "extreme degradation" (§V-C); useful
+// for reproducing that experiment.
+func WithoutPartitioning() Option {
+	return func(c *codecConfig) error {
+		c.noPartition = true
+		return nil
+	}
+}
+
+// New builds a Codec, validating the whole configuration up front: an
+// unknown compressor or lossless name, a non-positive bound, or a bad
+// parallelism fails here with a descriptive error instead of surfacing
+// mid-pipeline. The zero-option call New() is the paper's recommended
+// configuration (SZ2, REL 1e-2, blosc-lz, threshold 1024) on the shared
+// process-wide pool.
+func New(options ...Option) (*Codec, error) {
+	var cfg codecConfig
+	for _, opt := range options {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	c := &Codec{}
+	if cfg.lossyName != "" {
+		comp, err := compressors.Get(cfg.lossyName)
+		if err != nil {
+			return nil, fmt.Errorf("fedsz: unknown compressor %q (available: %s)",
+				cfg.lossyName, strings.Join(compressors.Names(), ", "))
+		}
+		c.opts.Lossy = comp
+	} else {
+		c.opts.Lossy = cfg.lossy // nil selects the SZ2 default
+	}
+	if cfg.losslessName != "" {
+		codec, err := lossless.Get(cfg.losslessName)
+		if err != nil {
+			return nil, fmt.Errorf("fedsz: unknown lossless codec %q (available: %s)",
+				cfg.losslessName, strings.Join(lossless.Names(), ", "))
+		}
+		c.opts.Lossless = codec
+	} else {
+		c.opts.Lossless = cfg.lossless // nil selects the blosc-lz default
+	}
+	if cfg.hasParams {
+		if _, err := ebcl.ResolveAbs([]float32{0, 1}, cfg.params); err != nil {
+			return nil, fmt.Errorf("fedsz: invalid error-control parameters: %w", err)
+		}
+		c.opts.LossyParams = cfg.params
+	}
+	c.opts.Threshold = cfg.threshold
+	c.opts.DisablePartitioning = cfg.noPartition
+	if cfg.hasParallel {
+		c.pool = sched.NewPool(cfg.parallelism)
+	} else {
+		c.pool = sched.Default()
+	}
+	return c, nil
+}
+
+// Options returns the resolved pipeline options the codec was built with
+// (a copy; mutating it does not affect the codec).
+func (c *Codec) Options() Options { return c.opts }
+
+// Parallelism returns the codec's worker-pool budget.
+func (c *Codec) Parallelism() int { return c.pool.Parallelism() }
+
+// Compress runs the FedSZ pipeline over a state dict on the codec's pool.
+func (c *Codec) Compress(ctx context.Context, sd *StateDict) ([]byte, *Stats, error) {
+	return core.CompressWith(ctx, c.pool, sd, c.opts)
+}
+
+// CompressTo streams the encode of sd straight into w: the stream header
+// and each finished tensor section are written while later tensors are
+// still compressing on the codec's pool, so on a socket the upload
+// overlaps the encode (Stats.EncodeOverlapRatio reports how much). The
+// bytes written are identical to Compress. Cancelling ctx aborts at the
+// next section boundary and returns ctx.Err().
+func (c *Codec) CompressTo(ctx context.Context, w io.Writer, sd *StateDict) (*Stats, error) {
+	return core.CompressToWith(ctx, c.pool, w, sd, c.opts)
+}
+
+// CompressAll compresses many client state dicts with the codec's one
+// parallelism budget shared across the whole batch. Output i is
+// bit-identical to Compress(sds[i]).
+func (c *Codec) CompressAll(ctx context.Context, sds []*StateDict) ([][]byte, []*Stats, error) {
+	return core.CompressAllWith(ctx, c.pool, sds, c.opts)
+}
+
+// Decompress reverses Compress on the codec's pool. The stream is
+// self-describing: the compressors it was encoded with are selected by
+// the names it carries, independent of this codec's configuration.
+func (c *Codec) Decompress(ctx context.Context, stream []byte) (*StateDict, *DecompressStats, error) {
+	return core.DecompressWith(ctx, c.pool, stream)
+}
+
+// DecompressFrom decodes a FedSZ stream incrementally from r: each fully
+// received tensor section decodes on the codec's pool while the next is
+// still being read, so on a socket the decode overlaps the receive — the
+// mirror of CompressTo. Cancelling ctx aborts the decode promptly and
+// returns ctx.Err().
+func (c *Codec) DecompressFrom(ctx context.Context, r io.Reader) (*StateDict, *DecompressStats, error) {
+	return core.DecompressFromWith(ctx, c.pool, r)
+}
+
+// DecompressAll reverses CompressAll — the aggregation-server hot path:
+// all streams, and all tensors within them, decode under the codec's one
+// parallelism budget. Output i is bit-identical to Decompress(streams[i]).
+func (c *Codec) DecompressAll(ctx context.Context, streams [][]byte) ([]*StateDict, []*DecompressStats, error) {
+	return core.DecompressAllWith(ctx, c.pool, streams)
+}
+
+// defaultCodec backs the package-level free functions: the paper's
+// recommended configuration on the shared process-wide pool.
+var defaultCodec = sync.OnceValue(func() *Codec {
+	c, err := New()
+	if err != nil {
+		panic(fmt.Sprintf("fedsz: default codec: %v", err))
+	}
+	return c
+})
+
+// Default returns the package-level codec the free functions delegate to.
+func Default() *Codec { return defaultCodec() }

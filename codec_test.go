@@ -1,0 +1,201 @@
+package fedsz
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestNewValidatesConfiguration: every misconfiguration must fail at
+// construction with a descriptive error — never mid-pipeline. The unknown
+// compressor / lossless messages are regression-locked: callers match on
+// them to print available options.
+func TestNewValidatesConfiguration(t *testing.T) {
+	if _, err := New(WithCompressor("lz4")); err == nil ||
+		err.Error() != `fedsz: unknown compressor "lz4" (available: sz2, sz3, szx, zfp)` {
+		t.Fatalf("unknown compressor error = %v", err)
+	}
+	if _, err := New(WithLossless("snappy")); err == nil ||
+		err.Error() != `fedsz: unknown lossless codec "snappy" (available: blosclz, gzip, xzlike, zlib, zstdlike)` {
+		t.Fatalf("unknown lossless error = %v", err)
+	}
+	if _, err := New(WithRelBound(0)); err == nil {
+		t.Fatal("zero relative bound accepted")
+	}
+	if _, err := New(WithAbsBound(-1)); err == nil {
+		t.Fatal("negative absolute bound accepted")
+	}
+	if _, err := New(WithParams(Params{})); err == nil {
+		t.Fatal("zero-value params accepted")
+	}
+	if _, err := New(WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	if _, err := New(WithLossy(nil)); err == nil {
+		t.Fatal("nil compressor accepted")
+	}
+	if _, err := New(WithLosslessCodec(nil)); err == nil {
+		t.Fatal("nil lossless codec accepted")
+	}
+
+	c, err := New(
+		WithCompressor("sz3"),
+		WithRelBound(1e-3),
+		WithLossless("zstdlike"),
+		WithParallelism(3),
+		WithThreshold(512),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.Options()
+	if o.Lossy.Name() != "sz3" || o.Lossless.Name() != "zstdlike" || o.Threshold != 512 {
+		t.Fatalf("options not applied: %+v", o)
+	}
+	if c.Parallelism() != 3 {
+		t.Fatalf("parallelism %d, want 3", c.Parallelism())
+	}
+}
+
+// TestCodecMatchesFreeFunctions locks the compatibility contract: the
+// session codec and the historical free functions produce byte-identical
+// streams and identical reconstructions.
+func TestCodecMatchesFreeFunctions(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(21, 22))
+	sd := buildDemoDict(rng)
+
+	codec, err := New(WithCompressor("sz2"), WithRelBound(1e-2), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _, err := Compress(sd, Options{LossyParams: RelBound(1e-2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := codec.Compress(ctx, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream, legacy) {
+		t.Fatal("Codec.Compress differs from free Compress")
+	}
+	var buf bytes.Buffer
+	if _, err := codec.CompressTo(ctx, &buf, sd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), legacy) {
+		t.Fatal("Codec.CompressTo differs from free Compress")
+	}
+
+	want, err := Decompress(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := codec.Decompress(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := got.MaxAbsDiff(want); err != nil || d != 0 {
+		t.Fatalf("codec decode differs: d=%v err=%v", d, err)
+	}
+	gotFrom, _, err := codec.DecompressFrom(ctx, bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := gotFrom.MaxAbsDiff(want); err != nil || d != 0 {
+		t.Fatalf("codec streaming decode differs: d=%v err=%v", d, err)
+	}
+}
+
+// TestCodecBatchMatrix: the batch methods share the codec's budget and
+// reproduce the single-call outputs bit-for-bit.
+func TestCodecBatchMatrix(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(31, 32))
+	sds := []*StateDict{buildDemoDict(rng), buildDemoDict(rng), buildDemoDict(rng)}
+	codec, err := New(WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, stats, err := codec.CompressAll(ctx, sds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 3 || len(stats) != 3 {
+		t.Fatalf("batch sizes: %d streams, %d stats", len(streams), len(stats))
+	}
+	for i, sd := range sds {
+		single, _, err := codec.Compress(ctx, sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streams[i], single) {
+			t.Fatalf("batch stream %d differs from single compress", i)
+		}
+	}
+	decoded, dstats, err := codec.DecompressAll(ctx, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 || len(dstats) != 3 {
+		t.Fatalf("batch decode sizes: %d dicts, %d stats", len(decoded), len(dstats))
+	}
+	for i := range decoded {
+		want, _, err := codec.Decompress(ctx, streams[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, err := decoded[i].MaxAbsDiff(want); err != nil || d != 0 {
+			t.Fatalf("batch decode %d differs: d=%v err=%v", i, d, err)
+		}
+	}
+}
+
+// TestCodecContextCancelled: a pre-cancelled context fails every codec
+// entry point with the context error.
+func TestCodecContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	sd := buildDemoDict(rng)
+	codec, err := New(WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := codec.Compress(context.Background(), sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := codec.Compress(ctx, sd); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Compress: %v", err)
+	}
+	if _, err := codec.CompressTo(ctx, &bytes.Buffer{}, sd); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompressTo: %v", err)
+	}
+	if _, _, err := codec.CompressAll(ctx, []*StateDict{sd}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompressAll: %v", err)
+	}
+	if _, _, err := codec.Decompress(ctx, stream); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if _, _, err := codec.DecompressFrom(ctx, bytes.NewReader(stream)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecompressFrom: %v", err)
+	}
+	if _, _, err := codec.DecompressAll(ctx, [][]byte{stream}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecompressAll: %v", err)
+	}
+}
+
+// TestDefaultCodecSharedPool: the free functions and Default() ride the
+// same process-wide budget.
+func TestDefaultCodecSharedPool(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default not a singleton")
+	}
+	if Default().Parallelism() < 1 {
+		t.Fatal("default codec has no budget")
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -130,20 +131,19 @@ func run() error {
 
 	fmt.Println("same pipeline, two lossy backends at REL 1e-2:")
 	for _, name := range []string{"uniform16", "sz2"} {
-		comp, err := fedsz.CompressorByName(name)
+		// A registered custom compressor builds into a session codec by
+		// name like any built-in; a typo would fail here, not mid-stream.
+		codec, err := fedsz.New(fedsz.WithCompressor(name), fedsz.WithRelBound(1e-2))
 		if err != nil {
 			return err
 		}
-		stream, stats, err := fedsz.Compress(sd, fedsz.Options{
-			Lossy:       comp,
-			LossyParams: fedsz.RelBound(1e-2),
-		})
+		stream, stats, err := codec.Compress(context.Background(), sd)
 		if err != nil {
 			return err
 		}
 		// Streams are self-describing: Decompress finds uniform16 in the
 		// registry without being told.
-		restored, err := fedsz.Decompress(stream)
+		restored, _, err := codec.Decompress(context.Background(), stream)
 		if err != nil {
 			return err
 		}

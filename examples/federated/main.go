@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -66,7 +67,7 @@ func run(transport fl.Transport, rounds, nClients int, seed uint64) error {
 		"round", "loss", "top1(%)", "wire bytes", "ratio", "comm@10Mbps")
 	var totalComm float64
 	for r := 0; r < rounds; r++ {
-		res, err := fed.RunRound(r, 1)
+		res, err := fed.RunRound(context.Background(), r, 1)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,8 +42,14 @@ func run() error {
 	sd.Add("conv1.bias", fedsz.KindBias, fedsz.NewTensor(bias, 256))
 	sd.Add("bn1.running_var", fedsz.KindRunningStat, fedsz.NewTensor(running, 256))
 
-	// Compress with the paper's recommended setting: SZ2 at REL 1e-2.
-	stream, stats, err := fedsz.Compress(sd, fedsz.Options{LossyParams: fedsz.RelBound(1e-2)})
+	// Build a session codec with the paper's recommended setting (SZ2 at
+	// REL 1e-2): configuration is validated here, once, and the codec is
+	// reusable across any number of updates.
+	codec, err := fedsz.New(fedsz.WithCompressor("sz2"), fedsz.WithRelBound(1e-2))
+	if err != nil {
+		return err
+	}
+	stream, stats, err := codec.Compress(context.Background(), sd)
 	if err != nil {
 		return err
 	}
@@ -53,7 +60,7 @@ func run() error {
 		stats.Ratio(), stats.CompressTime.Round(1000))
 
 	// Decompress and verify.
-	restored, err := fedsz.Decompress(stream)
+	restored, _, err := codec.Decompress(context.Background(), stream)
 	if err != nil {
 		return err
 	}

@@ -1,25 +1,30 @@
-// Streaming scenario: the paper's aggregation server fed by real sockets.
-// Eight clients compress one model update each and upload it concurrently
-// over loopback TCP through a 100 Mbps-throttled uplink; the server
-// decodes each tensor while the next is still arriving (internal/wire
-// framing into core.DecompressFrom on a shared worker pool) and folds
-// finished updates incrementally into a FedAvg mean. The run verifies the
-// streamed aggregate against the in-memory decode of the same payloads and
-// prints the decode/receive overlap the pipelining buys.
+// Streaming scenario: the paper's aggregation server fed by real sockets,
+// now streaming on *both* sides of the wire. Eight clients compress one
+// model update each straight into a 100 Mbps-throttled uplink — the
+// session codec's CompressTo path emits the stream header and each
+// finished tensor section while later tensors are still compressing, so
+// the upload overlaps the encode (no client ever materializes its whole
+// compressed stream). The server decodes each tensor while the next is
+// still arriving (internal/wire framing into core.DecompressFrom on a
+// shared worker pool) and folds finished updates incrementally into a
+// FedAvg mean. The run verifies the streamed aggregate against the
+// in-memory decode of the same updates and prints the overlap each side
+// of the pipeline buys.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ebcl"
+	fedsz "repro"
 	"repro/internal/flserve"
 	"repro/internal/netsim"
 	"repro/internal/nn/models"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -31,43 +36,77 @@ func main() {
 
 func run() error {
 	const nClients = 8
+	ctx := context.Background()
 	link := netsim.Link{BandwidthMbps: 100}
+
+	// One session codec for the whole run: configuration validated once,
+	// one shared parallelism budget for every encode below.
+	codec, err := fedsz.New(
+		fedsz.WithCompressor("sz2"),
+		fedsz.WithRelBound(1e-2),
+		fedsz.WithParallelism(4),
+	)
+	if err != nil {
+		return err
+	}
 
 	// Each client trains locally in the real loop; here one scaled AlexNet
 	// profile per client stands in for a round's update.
-	streams := make([][]byte, nClients)
+	updates := make([]*tensor.StateDict, nClients)
 	rawBytes := 0
-	for i := range streams {
+	for i := range updates {
 		rng := rand.New(rand.NewPCG(7, uint64(i)+1))
 		sd, err := models.BuildProfile("alexnet", rng, 0.02)
 		if err != nil {
 			return err
 		}
 		rawBytes += sd.SizeBytes()
-		if streams[i], _, err = core.Compress(sd, core.Options{LossyParams: ebcl.Rel(1e-2)}); err != nil {
-			return err
-		}
+		updates[i] = sd
 	}
+	fmt.Printf("%d clients, %.2f MB raw updates\n", nClients, float64(rawBytes)/1e6)
 
-	// The aggregation server: shared decode budget, incremental FedAvg.
-	var agg flserve.Aggregator
-	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: 4, Handler: agg.Add})
+	// The aggregation server: shared decode budget, incremental FedAvg,
+	// and a per-upload deadline so a stalled client cannot pin a round.
+	// DedupByClient pairs with the clients' retry policy below — a retry
+	// whose first attempt actually folded (lost ack) must not
+	// double-weight its client.
+	agg := flserve.Aggregator{DedupByClient: true}
+	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{
+		Parallel:      4,
+		UploadTimeout: 30 * time.Second,
+		Handler:       agg.Add,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("aggregation server on %s, %d clients @ %g Mbps each\n",
-		srv.Addr(), nClients, link.BandwidthMbps)
+	fmt.Printf("aggregation server on %s, %g Mbps per uplink\n",
+		srv.Addr(), link.BandwidthMbps)
 
+	// Streaming-encode uploads: UploadState pipes codec sections straight
+	// into wire frames on the socket. Each client gets a per-attempt
+	// timeout and one retry — the session API's transport policy. The
+	// encode pool has helpers so a throttled send overlaps later tensors'
+	// compression even on small hosts.
+	encPool := sched.NewPool(4)
 	t0 := time.Now()
 	errs := make([]error, nClients)
+	encOverlap := make([]float64, nClients)
 	var wg sync.WaitGroup
-	for i, s := range streams {
+	for i, sd := range updates {
 		wg.Add(1)
-		go func(i int, s []byte) {
+		go func(i int, sd *tensor.StateDict) {
 			defer wg.Done()
-			c := &flserve.Client{Addr: srv.Addr().String(), Link: link}
-			errs[i] = c.Upload(uint32(i), s)
-		}(i, s)
+			c := &flserve.Client{
+				Addr: srv.Addr().String(), Link: link,
+				Timeout: time.Minute, Retries: 1,
+			}
+			stats, err := c.UploadState(ctx, uint32(i), sd, codec.Options(), encPool)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			encOverlap[i] = stats.EncodeOverlapRatio()
+		}(i, sd)
 	}
 	wg.Wait()
 	ingestWall := time.Since(t0)
@@ -81,21 +120,30 @@ func run() error {
 	}
 
 	st := srv.Stats()
+	meanEnc := 0.0
+	for _, r := range encOverlap {
+		meanEnc += r / nClients
+	}
 	fmt.Printf("ingested %d updates (%.2f MB wire) in %v — %.1f updates/s\n",
 		st.Updates, float64(st.WireBytes)/1e6, ingestWall.Round(time.Millisecond),
 		float64(st.Updates)/ingestWall.Seconds())
-	fmt.Printf("decode work %v hidden behind receive: overlap ratio %.2f\n",
+	fmt.Printf("client side: encode overlap %.2f (compress hidden behind send)\n", meanEnc)
+	fmt.Printf("server side: decode work %v hidden behind receive, overlap %.2f\n",
 		st.DecodeWork.Round(time.Microsecond), st.OverlapRatio())
 
-	// Verify: the streamed FedAvg mean must match the mean of the
-	// in-memory decodes of the same payloads.
+	// Verify: the streamed FedAvg mean must match the mean of in-memory
+	// compress + decode of the same updates through the same codec.
 	mean, n := agg.Mean()
 	if n != nClients {
 		return fmt.Errorf("aggregated %d of %d updates", n, nClients)
 	}
 	var want *tensor.StateDict
-	for _, s := range streams {
-		sd, _, err := core.Decompress(s)
+	for _, u := range updates {
+		stream, _, err := codec.Compress(ctx, u)
+		if err != nil {
+			return err
+		}
+		sd, _, err := codec.Decompress(ctx, stream)
 		if err != nil {
 			return err
 		}

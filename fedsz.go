@@ -6,13 +6,27 @@
 // large dense weight tensors — lossy-compressed with an error-bounded
 // compressor (SZ2 by default, at relative error bound 1e-2) — and the
 // remaining metadata, which is serialized and lossless-compressed (blosc-lz
-// by default). See the quickstart example:
+// by default).
 //
+// # Session API
+//
+// The primary surface is the reusable Codec session, built once via
+// functional options (configuration validated at construction) and safe
+// for concurrent use; every method takes a context:
+//
+//	codec, err := fedsz.New(fedsz.WithCompressor("sz2"), fedsz.WithRelBound(1e-2))
+//	...
 //	sd := fedsz.NewStateDict()
 //	sd.Add("conv1.weight", fedsz.KindWeight, fedsz.NewTensor(weights, 64, 32, 3, 3))
-//	stream, stats, err := fedsz.Compress(sd, fedsz.Options{})
+//	stream, stats, err := codec.Compress(ctx, sd)
 //	...
-//	restored, err := fedsz.Decompress(stream)
+//	restored, _, err := codec.Decompress(ctx, stream)
+//
+// The codec exposes the full symmetric matrix — Compress / CompressTo /
+// CompressAll and Decompress / DecompressFrom / DecompressAll — where the
+// streaming pair overlaps codec work with socket I/O in both directions.
+// The package-level free functions below remain as thin wrappers over a
+// default codec (bit-identical output) for one-shot use.
 //
 // Sub-systems (the four EBLCs, the lossless codecs, the FL substrate, the
 // network simulator) live under internal/ and are exercised through this
@@ -52,6 +66,7 @@
 package fedsz
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -92,8 +107,14 @@ func NewTensor(data []float32, shape ...int) *Tensor { return tensor.FromData(da
 // recommended configuration (SZ2, REL 1e-2, blosc-lz, threshold 1024).
 type Options = core.Options
 
-// Stats reports what one Compress call did.
+// Stats reports what one Compress call did, including the encode/send
+// overlap accounting of a streaming CompressTo.
 type Stats = core.Stats
+
+// DecompressStats reports what one Decompress call did, including the
+// decode/receive overlap accounting of a streaming DecompressFrom and the
+// buffer-pool hit counters.
+type DecompressStats = core.DecompressStats
 
 // Params selects the error-control mode for the lossy compressor.
 type Params = ebcl.Params
@@ -105,14 +126,24 @@ func RelBound(eb float64) Params { return ebcl.Rel(eb) }
 // AbsBound returns an absolute error bound.
 func AbsBound(eb float64) Params { return ebcl.Abs(eb) }
 
-// Compress runs the FedSZ pipeline over a state dict.
+// Compress runs the FedSZ pipeline over a state dict — a thin wrapper
+// over the default codec's pool with per-call options; output is
+// bit-identical to Codec.Compress under the same configuration. New code
+// should build a Codec (fedsz.New) for construction-time validation,
+// contexts, and a dedicated parallelism budget.
 func Compress(sd *StateDict, opts Options) ([]byte, *Stats, error) {
-	return core.Compress(sd, opts)
+	return core.CompressWith(context.Background(), Default().pool, sd, opts)
+}
+
+// CompressTo streams the encode of sd straight into w (see
+// Codec.CompressTo); the bytes written are identical to Compress.
+func CompressTo(w io.Writer, sd *StateDict, opts Options) (*Stats, error) {
+	return core.CompressToWith(context.Background(), Default().pool, w, sd, opts)
 }
 
 // Decompress reverses Compress; the stream is self-describing.
 func Decompress(stream []byte) (*StateDict, error) {
-	sd, _, err := core.Decompress(stream)
+	sd, _, err := core.DecompressWith(context.Background(), Default().pool, stream)
 	return sd, err
 }
 
@@ -121,7 +152,7 @@ func Decompress(stream []byte) (*StateDict, error) {
 // next is still being read, so on a socket the decode overlaps the
 // receive. The result is bit-identical to Decompress of the same bytes.
 func DecompressFrom(r io.Reader) (*StateDict, error) {
-	sd, _, err := core.DecompressFrom(r)
+	sd, _, err := core.DecompressFromWith(context.Background(), Default().pool, r)
 	return sd, err
 }
 
@@ -129,7 +160,7 @@ func DecompressFrom(r io.Reader) (*StateDict, error) {
 // parallelism budget shared across the whole batch (0 selects GOMAXPROCS).
 // Output i is bit-identical to Compress(sds[i], opts).
 func CompressAll(sds []*StateDict, opts Options, parallelism int) ([][]byte, []*Stats, error) {
-	return core.CompressAll(sds, opts, parallelism)
+	return core.CompressAll(context.Background(), sds, opts, parallelism)
 }
 
 // DecompressAll reverses CompressAll — the aggregation-server hot path:
@@ -137,7 +168,7 @@ func CompressAll(sds []*StateDict, opts Options, parallelism int) ([][]byte, []*
 // parallelism budget (0 selects GOMAXPROCS). Output i is bit-identical to
 // Decompress(streams[i]).
 func DecompressAll(streams [][]byte, parallelism int) ([]*StateDict, error) {
-	sds, _, err := core.DecompressAll(streams, parallelism)
+	sds, _, err := core.DecompressAll(context.Background(), streams, parallelism)
 	return sds, err
 }
 

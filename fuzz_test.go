@@ -1,0 +1,164 @@
+package fedsz
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// fuzzDict builds a deterministic state dict from fuzz input: raw bytes
+// become literal float32 weight values (sanitized to finite, so the REL
+// configurations stay well-defined), topped up with seeded spiky filler,
+// plus a lossless-path bias tensor.
+func fuzzDict(seed uint64, n1, n2 uint16, raw []byte) *StateDict {
+	rng := rand.New(rand.NewPCG(seed, 0x5A17))
+	mk := func(n int) []float32 {
+		if n < 1 {
+			n = 1
+		}
+		data := make([]float32, n)
+		for i := range data {
+			if 4*i+4 <= len(raw) {
+				v := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+				if f64 := float64(v); !math.IsNaN(f64) && !math.IsInf(f64, 0) && math.Abs(f64) < 1e6 {
+					data[i] = v
+					continue
+				}
+			}
+			data[i] = float32(0.05 * (rng.ExpFloat64() - rng.ExpFloat64()))
+		}
+		return data
+	}
+	// Sizes above DefaultThreshold so both tensors take the lossy path;
+	// capped to keep a fuzz iteration cheap.
+	e1 := 1025 + int(n1)%3072
+	e2 := 1025 + int(n2)%3072
+	sd := NewStateDict()
+	sd.Add("a.weight", KindWeight, NewTensor(mk(e1), e1))
+	sd.Add("b.weight", KindWeight, NewTensor(mk(e2), e2))
+	b := make([]float32, 16)
+	for i := range b {
+		b[i] = float32(0.01 * rng.NormFloat64())
+	}
+	sd.Add("a.bias", KindBias, NewTensor(b, 16))
+	return sd
+}
+
+// maxAbsErr returns the largest elementwise reconstruction error.
+func maxAbsErr(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// FuzzCodecDifferential cross-checks every EBLC × bound-mode configuration
+// across all four pipeline paths on one generated state dict: serial
+// encode, parallel encode, and streaming encode must be byte-identical;
+// in-memory decode and streaming decode must reconstruct identically; and
+// every lossy tensor must land within its error bound. Any divergence
+// between paths is a bug even when each path round-trips on its own.
+func FuzzCodecDifferential(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint16(0), []byte{})
+	f.Add(uint64(42), uint16(512), uint16(77), []byte{0, 0, 128, 63, 0, 0, 0, 192})
+	f.Add(uint64(7), uint16(3000), uint16(1), bytes.Repeat([]byte{0xAA, 0x3D, 0x11, 0xBE}, 32))
+
+	type config struct {
+		comp   string
+		params Params
+		bound  func(data []float32) float64
+	}
+	// ZFP's REL/ABS mapping has no formal bound (paper §V-D1) — on
+	// adversarial data even the conformance suite's 8× slack is exceeded —
+	// so zfp is held to the differential contracts only (identical streams
+	// and reconstructions across paths, exact metadata), not a bound.
+	slack := map[string]float64{"sz2": 1, "sz3": 1, "szx": 1, "zfp": math.Inf(1)}
+	var configs []config
+	for _, name := range []string{"sz2", "sz3", "szx", "zfp"} {
+		loose := slack[name]
+		configs = append(configs,
+			config{name, RelBound(1e-2), func(data []float32) float64 {
+				lo, hi := data[0], data[0]
+				for _, v := range data {
+					lo, hi = min(lo, v), max(hi, v)
+				}
+				return loose * 1e-2 * float64(hi-lo)
+			}},
+			config{name, AbsBound(1e-3), func([]float32) float64 { return loose * 1e-3 }},
+		)
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64, n1, n2 uint16, raw []byte) {
+		if len(raw) > 1<<14 {
+			return
+		}
+		ctx := context.Background()
+		sd := fuzzDict(seed, n1, n2, raw)
+		for _, cfg := range configs {
+			serial, err := New(WithCompressor(cfg.comp), WithParams(cfg.params), WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := New(WithCompressor(cfg.comp), WithParams(cfg.params), WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref, _, err := serial.Compress(ctx, sd)
+			if err != nil {
+				t.Fatalf("%s/%v: serial compress: %v", cfg.comp, cfg.params.Mode, err)
+			}
+			par, _, err := parallel.Compress(ctx, sd)
+			if err != nil {
+				t.Fatalf("%s/%v: parallel compress: %v", cfg.comp, cfg.params.Mode, err)
+			}
+			if !bytes.Equal(ref, par) {
+				t.Fatalf("%s/%v: parallel stream differs from serial", cfg.comp, cfg.params.Mode)
+			}
+			var streamed bytes.Buffer
+			if _, err := parallel.CompressTo(ctx, &streamed, sd); err != nil {
+				t.Fatalf("%s/%v: streaming encode: %v", cfg.comp, cfg.params.Mode, err)
+			}
+			if !bytes.Equal(ref, streamed.Bytes()) {
+				t.Fatalf("%s/%v: streaming-encode stream differs from serial", cfg.comp, cfg.params.Mode)
+			}
+
+			mem, _, err := parallel.Decompress(ctx, ref)
+			if err != nil {
+				t.Fatalf("%s/%v: decompress: %v", cfg.comp, cfg.params.Mode, err)
+			}
+			viaReader, _, err := serial.DecompressFrom(ctx, bytes.NewReader(ref))
+			if err != nil {
+				t.Fatalf("%s/%v: streaming decode: %v", cfg.comp, cfg.params.Mode, err)
+			}
+			if d, err := mem.MaxAbsDiff(viaReader); err != nil || d != 0 {
+				t.Fatalf("%s/%v: streaming decode differs from in-memory (d=%v err=%v)",
+					cfg.comp, cfg.params.Mode, d, err)
+			}
+
+			// Error-bound and metadata contracts on the reconstruction.
+			for _, name := range []string{"a.weight", "b.weight"} {
+				orig := sd.Get(name).Data
+				got := mem.Get(name).Data
+				if len(got) != len(orig) {
+					t.Fatalf("%s/%v: %s length %d, want %d", cfg.comp, cfg.params.Mode, name, len(got), len(orig))
+				}
+				bound := cfg.bound(orig)
+				if e := maxAbsErr(orig, got); e > bound*(1+1e-5)+1e-12 {
+					t.Fatalf("%s/%v: %s error %g exceeds bound %g", cfg.comp, cfg.params.Mode, name, e, bound)
+				}
+			}
+			for i, v := range sd.Get("a.bias").Data {
+				if mem.Get("a.bias").Data[i] != v {
+					t.Fatalf("%s/%v: metadata not bit-exact", cfg.comp, cfg.params.Mode)
+				}
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ package conformance
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -225,7 +226,7 @@ func TestCrossCodecPipelineConformance(t *testing.T) {
 						checkRoundTrip(t, sd, got, opts, tr)
 
 						// Batched paths must be bit-identical to per-call.
-						batchStreams, _, err := core.CompressAll([]*tensor.StateDict{sd, sd, sd}, opts, 2)
+						batchStreams, _, err := core.CompressAll(context.Background(), []*tensor.StateDict{sd, sd, sd}, opts, 2)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -234,7 +235,7 @@ func TestCrossCodecPipelineConformance(t *testing.T) {
 								t.Fatalf("batch stream %d differs from sequential", i)
 							}
 						}
-						batchDicts, _, err := core.DecompressAll(batchStreams, 2)
+						batchDicts, _, err := core.DecompressAll(context.Background(), batchStreams, 2)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -262,7 +263,7 @@ func TestCorruptBatchKeepsErrCorrupt(t *testing.T) {
 	}
 	bad := append([]byte(nil), stream...)
 	bad[0] ^= 0xFF
-	if _, _, err := core.DecompressAll([][]byte{stream, bad}, 2); !errors.Is(err, core.ErrCorrupt) {
+	if _, _, err := core.DecompressAll(context.Background(), [][]byte{stream, bad}, 2); !errors.Is(err, core.ErrCorrupt) {
 		t.Fatalf("batch error %v does not wrap ErrCorrupt", err)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -42,11 +43,11 @@ func TestParallelDecodeMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, _, err := DecompressWith(sched.Serial(), stream)
+	serial, _, err := DecompressWith(context.Background(), sched.Serial(), stream)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, _, err := DecompressWith(sched.NewPool(8), stream)
+	parallel, _, err := DecompressWith(context.Background(), sched.NewPool(8), stream)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCompressAllBitIdenticalToSequential(t *testing.T) {
 	for i := range sds {
 		sds[i] = wideDict(rng, 4, 2048)
 	}
-	batch, stats, err := CompressAll(sds, Options{}, 4)
+	batch, stats, err := CompressAll(context.Background(), sds, Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestDecompressAllBitIdenticalToSequential(t *testing.T) {
 	for i := range sds {
 		sds[i] = wideDict(rng, 3, 1536)
 	}
-	streams, _, err := CompressAll(sds, Options{}, 0)
+	streams, _, err := CompressAll(context.Background(), sds, Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, bstats, err := DecompressAll(streams, 8)
+	batch, bstats, err := DecompressAll(context.Background(), streams, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,23 +125,23 @@ func TestDecompressAllPropagatesCorruption(t *testing.T) {
 	for i := range sds {
 		sds[i] = wideDict(rng, 2, 1500)
 	}
-	streams, _, err := CompressAll(sds, Options{}, 2)
+	streams, _, err := CompressAll(context.Background(), sds, Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	streams[2] = streams[2][:len(streams[2])/2]
-	if _, _, err := DecompressAll(streams, 2); err == nil {
+	if _, _, err := DecompressAll(context.Background(), streams, 2); err == nil {
 		t.Fatal("truncated stream in batch decoded without error")
 	}
 }
 
 // TestEmptyBatch: zero streams is a valid (empty) batch.
 func TestEmptyBatch(t *testing.T) {
-	streams, stats, err := CompressAll(nil, Options{}, 4)
+	streams, stats, err := CompressAll(context.Background(), nil, Options{}, 4)
 	if err != nil || len(streams) != 0 || len(stats) != 0 {
 		t.Fatalf("empty compress batch: %v", err)
 	}
-	sds, dstats, err := DecompressAll(nil, 4)
+	sds, dstats, err := DecompressAll(context.Background(), nil, 4)
 	if err != nil || len(sds) != 0 || len(dstats) != 0 {
 		t.Fatalf("empty decompress batch: %v", err)
 	}
@@ -165,7 +166,7 @@ func BenchmarkDecompressSerial(b *testing.B) {
 	b.SetBytes(int64(12 * 32768 * 4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := DecompressWith(pool, stream); err != nil {
+		if _, _, err := DecompressWith(context.Background(), pool, stream); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkDecompressParallel(b *testing.B) {
 	b.SetBytes(int64(12 * 32768 * 4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := DecompressWith(pool, stream); err != nil {
+		if _, _, err := DecompressWith(context.Background(), pool, stream); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -197,14 +198,14 @@ func BenchmarkDecompressAll32(b *testing.B) {
 		sds[i] = wideDict(rng, 4, 8192)
 		raw += sds[i].SizeBytes()
 	}
-	streams, _, err := CompressAll(sds, Options{}, 0)
+	streams, _, err := CompressAll(context.Background(), sds, Options{}, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(raw))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := DecompressAll(streams, 0); err != nil {
+		if _, _, err := DecompressAll(context.Background(), streams, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,7 +224,7 @@ func BenchmarkCompressAll32(b *testing.B) {
 	b.SetBytes(int64(raw))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := CompressAll(sds, Options{}, 0); err != nil {
+		if _, _, err := CompressAll(context.Background(), sds, Options{}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,7 +14,7 @@
 package core
 
 import (
-	"encoding/binary"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -91,7 +91,37 @@ type Stats struct {
 	LosslessRaw        int
 	LosslessCompressed int
 
+	// CompressTime is the wall clock of the whole encode, including time
+	// spent blocked writing when streaming through CompressTo.
 	CompressTime time.Duration
+	// WriteWait is the time the encoder spent blocked emitting sections —
+	// effectively zero for in-memory streams, the network-bound component
+	// when compressing straight into a socket.
+	WriteWait time.Duration
+	// EncodeWork is the summed per-blob compress time across all tensors
+	// and the lossless partition (it exceeds wall clock when the encode
+	// fans out).
+	EncodeWork time.Duration
+}
+
+// EncodeOverlapRatio reports the fraction of encode work hidden behind the
+// rest of the call — output writes and other blobs' encodes: 0 means the
+// stream compressed strictly before sending (wall = work + wait), 1 means
+// compression was fully overlapped with the upload (wall ≈ wait, the
+// network-bound ideal of a streaming client). The mirror of
+// DecompressStats.OverlapRatio.
+func (s *Stats) EncodeOverlapRatio() float64 {
+	if s.EncodeWork <= 0 {
+		return 0
+	}
+	hidden := s.WriteWait + s.EncodeWork - s.CompressTime
+	switch {
+	case hidden <= 0:
+		return 0
+	case hidden >= s.EncodeWork:
+		return 1
+	}
+	return float64(hidden) / float64(s.EncodeWork)
 }
 
 // Ratio returns the end-to-end compression ratio.
@@ -121,92 +151,24 @@ func takesLossyPath(e tensor.Entry, o Options) bool {
 // Compress runs the FedSZ pipeline over a state dict on the process-wide
 // shared worker pool.
 func Compress(sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
-	return CompressWith(sched.Default(), sd, opts)
+	return CompressWith(context.Background(), sched.Default(), sd, opts)
 }
 
 // CompressWith runs the FedSZ pipeline drawing per-tensor parallelism from
 // the given pool (nil runs serially). Batch callers pass one pool so the
-// whole batch shares a single parallelism budget.
-func CompressWith(pool *sched.Pool, sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
-	o := opts.withDefaults()
-	start := time.Now()
-	stats := &Stats{RawBytes: sd.SizeBytes()}
-
+// whole batch shares a single parallelism budget. It is a thin wrapper
+// over the incremental CompressSections encoder, appending each emitted
+// section to one buffer — there is exactly one encoder, so the in-memory
+// and streaming (CompressTo) outputs are byte-identical by construction.
+func CompressWith(ctx context.Context, pool *sched.Pool, sd *tensor.StateDict, opts Options) ([]byte, *Stats, error) {
 	out := make([]byte, 0, sd.SizeBytes()/4+256)
-	out = binary.LittleEndian.AppendUint32(out, streamMagic)
-	out = append(out, streamVersion)
-	out = appendString(out, o.Lossy.Name())
-	out = appendString(out, o.Lossless.Name())
-
-	entries := sd.Entries()
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
-
-	// Route entries; the path flag array preserves original order.
-	flags := make([]byte, len(entries))
-	rest := tensor.NewStateDict()
-	type lossyMeta struct {
-		name  string
-		kind  tensor.Kind
-		shape []int
-		data  []float32
-	}
-	var lossyMetas []lossyMeta
-	for i, e := range entries {
-		if takesLossyPath(e, o) {
-			flags[i] = pathLossy
-			lossyMetas = append(lossyMetas, lossyMeta{e.Name, e.Kind, e.Tensor.Shape, e.Tensor.Data})
-			stats.LossyTensors++
-			stats.LossyRaw += e.Tensor.SizeBytes()
-		} else {
-			flags[i] = pathLossless
-			rest.Add(e.Name, e.Kind, e.Tensor)
-			stats.LosslessTensors++
-			stats.LosslessRaw += e.Tensor.SizeBytes()
-		}
-	}
-	out = append(out, flags...)
-
-	// Compress the lossy tensors concurrently on the shared pool; output
-	// order stays the state-dict order because blobs are written back by
-	// index.
-	lossyBlobs := make([][]byte, len(lossyMetas))
-	errs := make([]error, len(lossyMetas))
-	pool.ForEach(len(lossyMetas), func(i int) {
-		lossyBlobs[i], errs[i] = o.Lossy.Compress(lossyMetas[i].data, o.LossyParams)
+	stats, err := CompressSections(ctx, pool, sd, opts, func(_ SectionKind, payload []byte) error {
+		out = append(out, payload...)
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
-		}
-		stats.LossyCompressed += len(lossyBlobs[i])
-	}
-
-	// Lossy partition: per-tensor metadata + blob. Blobs are copied into
-	// the stream, so their backing buffers go back to the shared pool.
-	for i, m := range lossyMetas {
-		out = appendString(out, m.name)
-		out = append(out, byte(m.kind), byte(len(m.shape)))
-		for _, d := range m.shape {
-			out = binary.LittleEndian.AppendUint32(out, uint32(d))
-		}
-		out = ebcl.AppendSection(out, lossyBlobs[i])
-		sched.PutBytes(lossyBlobs[i])
-		lossyBlobs[i] = nil
-	}
-
-	// Lossless partition: serialize (the paper pickles) then compress once.
-	restRaw := rest.Marshal()
-	restBlob, err := o.Lossless.Compress(restRaw)
-	sched.PutBytes(restRaw)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: lossless compress: %w", err)
+		return nil, nil, err
 	}
-	stats.LosslessCompressed = len(restBlob)
-	out = ebcl.AppendSection(out, restBlob)
-	sched.PutBytes(restBlob)
-
-	stats.CompressedBytes = len(out)
-	stats.CompressTime = time.Since(start)
 	return out, stats, nil
 }
 
@@ -222,6 +184,12 @@ type DecompressStats struct {
 	// DecodeWork is the summed per-blob decode time across all tensors and
 	// the lossless partition (it exceeds wall clock when decode fans out).
 	DecodeWork time.Duration
+	// PoolHits and PoolMisses are the sched byte-pool hit/miss deltas
+	// observed over this decode — the size-classed pool's effectiveness
+	// under this call's buffer traffic. The counters are process-wide, so
+	// concurrent decodes attribute shared traffic approximately.
+	PoolHits   uint64
+	PoolMisses uint64
 }
 
 // OverlapRatio reports the fraction of decode work hidden behind the rest
@@ -246,16 +214,17 @@ func (s *DecompressStats) OverlapRatio() float64 {
 // stream is self-describing: the lossy compressor and lossless codec are
 // selected by the names it carries.
 func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
-	return DecompressWith(sched.Default(), stream)
+	return DecompressWith(context.Background(), sched.Default(), stream)
 }
 
 // DecompressWith reverses Compress, decoding the per-tensor lossy blobs
 // concurrently on the given pool (nil runs serially) — the mirror of the
 // compress-side fan-out. It shares one decoder with the streaming
 // DecompressFrom; the in-memory source serves zero-copy section views, so
-// the batch server's hot path pays no receive buffering.
-func DecompressWith(pool *sched.Pool, stream []byte) (*tensor.StateDict, *DecompressStats, error) {
-	return decompressSource(pool, &byteSource{data: stream})
+// the batch server's hot path pays no receive buffering. Cancelling ctx
+// stops the decode at the next section boundary and returns ctx.Err().
+func DecompressWith(ctx context.Context, pool *sched.Pool, stream []byte) (*tensor.StateDict, *DecompressStats, error) {
+	return decompressSource(ctx, pool, &byteSource{data: stream})
 }
 
 // CompressAll runs the FedSZ pipeline over many client state dicts with
@@ -264,14 +233,22 @@ func DecompressWith(pool *sched.Pool, stream []byte) (*tensor.StateDict, *Decomp
 // would oversubscribe the machine N × GOMAXPROCS — the batch and the
 // per-tensor fan-out inside each call draw from the same pool. Output i
 // corresponds to input i and is bit-identical to Compress(sds[i], opts).
-func CompressAll(sds []*tensor.StateDict, opts Options, parallelism int) ([][]byte, []*Stats, error) {
-	pool := sched.NewPool(parallelism)
+// Cancelling ctx stops the batch after the in-flight clients finish.
+func CompressAll(ctx context.Context, sds []*tensor.StateDict, opts Options, parallelism int) ([][]byte, []*Stats, error) {
+	return CompressAllWith(ctx, sched.NewPool(parallelism), sds, opts)
+}
+
+// CompressAllWith is CompressAll drawing from an existing pool — the
+// session-codec path, where the batch shares the codec's own budget.
+func CompressAllWith(ctx context.Context, pool *sched.Pool, sds []*tensor.StateDict, opts Options) ([][]byte, []*Stats, error) {
 	streams := make([][]byte, len(sds))
 	stats := make([]*Stats, len(sds))
 	errs := make([]error, len(sds))
-	pool.ForEach(len(sds), func(i int) {
-		streams[i], stats[i], errs[i] = CompressWith(pool, sds[i], opts)
-	})
+	if err := pool.ForEachCtx(ctx, len(sds), func(i int) {
+		streams[i], stats[i], errs[i] = CompressWith(ctx, pool, sds[i], opts)
+	}); err != nil {
+		return nil, nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: batch compress client %d: %w", i, err)
@@ -285,14 +262,22 @@ func CompressAll(sds []*tensor.StateDict, opts Options, parallelism int) ([][]by
 // client streams per round. All streams and all tensors within them decode
 // under one shared parallelism budget (zero or negative selects
 // GOMAXPROCS). Output i is bit-identical to Decompress(streams[i]).
-func DecompressAll(streams [][]byte, parallelism int) ([]*tensor.StateDict, []*DecompressStats, error) {
-	pool := sched.NewPool(parallelism)
+// Cancelling ctx stops the batch after the in-flight clients finish.
+func DecompressAll(ctx context.Context, streams [][]byte, parallelism int) ([]*tensor.StateDict, []*DecompressStats, error) {
+	return DecompressAllWith(ctx, sched.NewPool(parallelism), streams)
+}
+
+// DecompressAllWith is DecompressAll drawing from an existing pool — the
+// session-codec path, where the batch shares the codec's own budget.
+func DecompressAllWith(ctx context.Context, pool *sched.Pool, streams [][]byte) ([]*tensor.StateDict, []*DecompressStats, error) {
 	sds := make([]*tensor.StateDict, len(streams))
 	stats := make([]*DecompressStats, len(streams))
 	errs := make([]error, len(streams))
-	pool.ForEach(len(streams), func(i int) {
-		sds[i], stats[i], errs[i] = DecompressWith(pool, streams[i])
-	})
+	if err := pool.ForEachCtx(ctx, len(streams), func(i int) {
+		sds[i], stats[i], errs[i] = DecompressWith(ctx, pool, streams[i])
+	}); err != nil {
+		return nil, nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: batch decompress client %d: %w", i, err)

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// encodeDict builds a multi-tensor dict large enough that the encoder's
+// window pipeline actually pipelines.
+func encodeDict(seed uint64, tensors, elems int) *tensor.StateDict {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	sd := tensor.NewStateDict()
+	for i := 0; i < tensors; i++ {
+		sd.Add(names[i%len(names)]+string(rune('a'+i)), tensor.KindWeight,
+			tensor.FromData(eblctest.WeightLike(rng, elems), elems))
+	}
+	b := tensor.New(64)
+	for i := range b.Data {
+		b.Data[i] = float32(0.01 * rng.NormFloat64())
+	}
+	sd.Add("head.bias", tensor.KindBias, b)
+	return sd
+}
+
+var names = []string{"conv.weight.", "fc.weight.", "proj.weight."}
+
+// TestCompressToMatchesCompress locks the core bit-identity contract: the
+// incremental section encoder writing to an io.Writer must reproduce the
+// buffered Compress bytes exactly, for every EBLC and both bound modes.
+func TestCompressToMatchesCompress(t *testing.T) {
+	sd := encodeDict(1, 5, 4096)
+	for _, name := range compressors.Names() {
+		comp, err := compressors.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, params := range []ebcl.Params{ebcl.Rel(1e-2), ebcl.Abs(1e-3)} {
+			opts := Options{Lossy: comp, LossyParams: params}
+			want, wstats, err := Compress(sd, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, params.Mode, err)
+			}
+			var buf bytes.Buffer
+			stats, err := CompressTo(context.Background(), &buf, sd, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: CompressTo: %v", name, params.Mode, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s/%v: CompressTo bytes differ from Compress", name, params.Mode)
+			}
+			if stats.CompressedBytes != wstats.CompressedBytes || stats.CompressedBytes != buf.Len() {
+				t.Fatalf("%s/%v: CompressedBytes %d (want %d, wrote %d)",
+					name, params.Mode, stats.CompressedBytes, wstats.CompressedBytes, buf.Len())
+			}
+			if stats.EncodeWork <= 0 {
+				t.Fatalf("%s/%v: EncodeWork not recorded: %+v", name, params.Mode, stats)
+			}
+		}
+	}
+}
+
+// TestCompressToSerialPoolMatches: the nil-pool (serial) encoder must also
+// be bit-identical — ordering never depends on scheduling.
+func TestCompressToSerialPoolMatches(t *testing.T) {
+	sd := encodeDict(2, 4, 2048)
+	want, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := CompressToWith(context.Background(), nil, &buf, sd, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("serial CompressTo differs from pooled Compress")
+	}
+}
+
+// TestCompressToOverlap: under a throttled writer, tensor i's send must
+// hide tensor i+1's compression — the encode-side pipelining payoff the
+// streaming client exists for.
+func TestCompressToOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throttled-writer timing test")
+	}
+	sd := encodeDict(3, 8, 1<<16)
+	pool := sched.NewPool(4)
+	link := netsim.Link{BandwidthMbps: 20}
+	stats, err := CompressToWith(context.Background(), pool, link.ThrottleWriter(io.Discard), sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WriteWait <= 0 {
+		t.Fatalf("no write wait recorded over a 20 Mbps link: %+v", stats)
+	}
+	if r := stats.EncodeOverlapRatio(); r <= 0 || r > 1 {
+		t.Fatalf("encode overlap ratio %v, want in (0, 1]", r)
+	}
+}
+
+// blockingWriter blocks in Write until released, then fails.
+type blockingWriter struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	select {
+	case w.entered <- struct{}{}:
+	default:
+	}
+	<-w.release
+	return 0, errors.New("blockingWriter: released")
+}
+
+// TestCompressToCancellation: cancelling mid-encode must return ctx.Err()
+// promptly and leave the pool with no leaked slots or stuck workers.
+func TestCompressToCancellation(t *testing.T) {
+	sd := encodeDict(4, 6, 1<<15)
+	pool := sched.NewPool(4)
+	w := &blockingWriter{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := CompressToWith(ctx, pool, w, sd, Options{})
+		done <- err
+	}()
+	<-w.entered // encoder is blocked writing a section
+	cancel()
+	close(w.release) // unblock the writer; the encoder must prefer ctx.Err()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CompressTo did not return after cancellation")
+	}
+	if n := pool.Busy(); n != 0 {
+		t.Fatalf("%d pool slots leaked after cancellation", n)
+	}
+	// The pool must still drive a full encode+decode round trip.
+	stream, _, err := CompressWith(context.Background(), pool, sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressWith(context.Background(), pool, stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stallReader serves the stream in small chunks, blocking after a
+// cutoff until released — a socket that stalls mid-stream.
+type stallReader struct {
+	data    []byte
+	pos     int
+	cutoff  int
+	stalled chan struct{}
+	release chan struct{}
+}
+
+func (r *stallReader) Read(p []byte) (int, error) {
+	if r.pos >= r.cutoff {
+		select {
+		case r.stalled <- struct{}{}:
+		default:
+		}
+		<-r.release
+	}
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:min(r.pos+512, len(r.data))])
+	r.pos += n
+	return n, nil
+}
+
+// TestDecompressFromCancellation: cancelling mid-receive must return
+// ctx.Err() promptly (the next read aborts, not just the next section)
+// and leak no pool slots.
+func TestDecompressFromCancellation(t *testing.T) {
+	sd := encodeDict(5, 6, 1<<14)
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(4)
+	r := &stallReader{
+		data: stream, cutoff: len(stream) / 2,
+		stalled: make(chan struct{}, 1), release: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := DecompressFromWith(ctx, pool, r)
+		done <- err
+	}()
+	<-r.stalled
+	cancel()
+	close(r.release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DecompressFrom did not return after cancellation")
+	}
+	if n := pool.Busy(); n != 0 {
+		t.Fatalf("%d pool slots leaked after cancellation", n)
+	}
+	// Same stream, same pool, fresh context: must still decode cleanly.
+	want, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFromWith(context.Background(), pool, bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := got.MaxAbsDiff(want); err != nil || d != 0 {
+		t.Fatalf("post-cancel decode differs: d=%v err=%v", d, err)
+	}
+}
+
+// TestCompressAllCancelled: an already-cancelled context fails the batch
+// entry points with the context error.
+func TestCompressAllCancelled(t *testing.T) {
+	sd := encodeDict(6, 2, 2048)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CompressAll(ctx, []*tensor.StateDict{sd}, Options{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompressAll: got %v", err)
+	}
+	stream, _, err := Compress(sd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressAll(ctx, [][]byte{stream}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecompressAll: got %v", err)
+	}
+}
+
+// BenchmarkCompressTo measures the streaming encoder against a throttled
+// link and reports the encode/send overlap ratio — the Eqn-1 client-side
+// win: tC hidden behind the upload of S'.
+func BenchmarkCompressTo(b *testing.B) {
+	sd := encodeDict(7, 8, 1<<16)
+	pool := sched.NewPool(4)
+	link := netsim.Link{BandwidthMbps: 20}
+	var overlap float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats, err := CompressToWith(context.Background(), pool, link.ThrottleWriter(io.Discard), sd, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = stats.EncodeOverlapRatio()
+	}
+	b.ReportMetric(overlap, "overlap")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -134,8 +135,11 @@ func TestDecompressCorruptCorpus(t *testing.T) {
 		name string
 		run  func([]byte) error
 	}{
-		{"serial", func(b []byte) error { _, _, err := DecompressWith(sched.Serial(), b); return err }},
-		{"pool4", func(b []byte) error { _, _, err := DecompressWith(sched.NewPool(4), b); return err }},
+		{"serial", func(b []byte) error { _, _, err := DecompressWith(context.Background(), sched.Serial(), b); return err }},
+		{"pool4", func(b []byte) error {
+			_, _, err := DecompressWith(context.Background(), sched.NewPool(4), b)
+			return err
+		}},
 		{"default", func(b []byte) error { _, _, err := Decompress(b); return err }},
 	}
 	for _, dec := range decoders {

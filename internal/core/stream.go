@@ -17,6 +17,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -178,13 +179,21 @@ func (s *byteSource) readSection(what string) ([]byte, func(), error) {
 func (s *byteSource) wait() time.Duration { return 0 }
 
 // readTracker measures time spent blocked in the underlying Read — the
-// "waiting for the network" component of a streaming decode.
+// "waiting for the network" component of a streaming decode — and aborts
+// promptly once the decode's context is cancelled: each Read checks the
+// context first, so cancellation takes effect at the next chunk boundary
+// even mid-section. (A Read already blocked on a dead socket is the
+// transport layer's problem — flserve bounds those with read deadlines.)
 type readTracker struct {
 	r       io.Reader
+	ctx     context.Context
 	blocked time.Duration
 }
 
 func (t *readTracker) Read(p []byte) (int, error) {
+	if err := t.ctx.Err(); err != nil {
+		return 0, err
+	}
 	t0 := time.Now()
 	n, err := t.r.Read(p)
 	t.blocked += time.Since(t0)
@@ -199,8 +208,8 @@ type readerSource struct {
 	tracker *readTracker
 }
 
-func newReaderSource(r io.Reader) *readerSource {
-	t := &readTracker{r: r}
+func newReaderSource(ctx context.Context, r io.Reader) *readerSource {
+	t := &readTracker{r: r, ctx: ctx}
 	return &readerSource{br: bufio.NewReaderSize(t, 4096), tracker: t}
 }
 
@@ -244,7 +253,7 @@ func (s *readerSource) wait() time.Duration { return s.tracker.blocked }
 // process-wide shared pool: tensor i decodes while tensor i+1 is still
 // being read, which on a socket means decode overlaps receive.
 func DecompressFrom(r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
-	return DecompressFromWith(sched.Default(), r)
+	return DecompressFromWith(context.Background(), sched.Default(), r)
 }
 
 // DecompressFromWith is DecompressFrom drawing decode parallelism from the
@@ -253,17 +262,33 @@ func DecompressFrom(r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
 // pool budget is exhausted it decodes inline, which pauses reading — the
 // per-connection backpressure that keeps a streaming server's peak memory
 // bounded by its parallelism budget rather than its client count.
-func DecompressFromWith(pool *sched.Pool, r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
-	return decompressSource(pool, newReaderSource(r))
+//
+// Cancelling ctx aborts the decode: reads stop at the next chunk, pending
+// decode workers exit before starting their blob, and the call returns
+// ctx.Err() after the in-flight workers drain (no pool slot or pooled
+// buffer is leaked).
+func DecompressFromWith(ctx context.Context, pool *sched.Pool, r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
+	return decompressSource(ctx, pool, newReaderSource(ctx, r))
 }
 
 // decompressSource is the one decoder behind both entry points.
-func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *DecompressStats, error) {
+func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (*tensor.StateDict, *DecompressStats, error) {
 	start := time.Now()
+	poolHits0, poolMisses0 := sched.BytePoolCounters()
+
+	// failRead prefers the context's error over the read failure it caused:
+	// a cancelled socket read otherwise surfaces as a corrupt-looking short
+	// stream.
+	failRead := func(err error) (*tensor.StateDict, *DecompressStats, error) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
+		return nil, nil, err
+	}
 
 	var hdr [5]byte
 	if err := src.readFull(hdr[:], "header"); err != nil {
-		return nil, nil, err
+		return failRead(err)
 	}
 	if binary.LittleEndian.Uint32(hdr[:]) != streamMagic {
 		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
@@ -273,11 +298,11 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 	}
 	lossyName, err := src.readString("lossy compressor name")
 	if err != nil {
-		return nil, nil, err
+		return failRead(err)
 	}
 	losslessName, err := src.readString("lossless codec name")
 	if err != nil {
-		return nil, nil, err
+		return failRead(err)
 	}
 	lossy, err := compressors.Get(lossyName)
 	if err != nil {
@@ -289,7 +314,7 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 	}
 	var cnt [4]byte
 	if err := src.readFull(cnt[:], "entry count"); err != nil {
-		return nil, nil, err
+		return failRead(err)
 	}
 	count := int(binary.LittleEndian.Uint32(cnt[:]))
 	if count > maxStreamEntries {
@@ -297,7 +322,7 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 	}
 	flags := make([]byte, count)
 	if err := src.readFull(flags, "path flags"); err != nil {
-		return nil, nil, err
+		return failRead(err)
 	}
 	nLossy := 0
 	for _, f := range flags {
@@ -325,23 +350,33 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 	entries := make([]lossyEntry, nLossy)
 	var decodeWork atomic.Int64
 	g := pool.Group()
+	// fail funnels every abort path through one place so cancellation wins
+	// over the secondary errors it induces (a cancelled read surfaces as a
+	// corrupt-looking short stream) and in-flight workers always drain.
+	fail := func(err error) (*tensor.StateDict, *DecompressStats, error) {
+		g.Wait()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
+		return nil, nil, err
+	}
 	for i := 0; i < nLossy; i++ {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		e := &entries[i]
 		if e.name, err = src.readString("tensor name"); err != nil {
-			g.Wait()
-			return nil, nil, err
+			return fail(err)
 		}
 		var meta [2]byte
 		if err := src.readFull(meta[:], "tensor metadata"); err != nil {
-			g.Wait()
-			return nil, nil, err
+			return fail(err)
 		}
 		e.kind = tensor.Kind(meta[0])
 		rank := int(meta[1])
 		dims := make([]byte, 4*rank)
 		if err := src.readFull(dims, "tensor shape"); err != nil {
-			g.Wait()
-			return nil, nil, err
+			return fail(err)
 		}
 		e.shape = make([]int, rank)
 		e.elems = 1
@@ -349,16 +384,19 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 			e.shape[d] = int(binary.LittleEndian.Uint32(dims[4*d:]))
 			e.elems *= e.shape[d]
 			if e.elems > ebcl.MaxElements {
-				g.Wait()
-				return nil, nil, fmt.Errorf("%w: tensor %q element count exceeds limit", ErrCorrupt, e.name)
+				return fail(fmt.Errorf("%w: tensor %q element count exceeds limit", ErrCorrupt, e.name))
 			}
 		}
 		blob, release, err := src.readSection(fmt.Sprintf("lossy section %q", e.name))
 		if err != nil {
-			g.Wait()
-			return nil, nil, err
+			return fail(err)
 		}
 		g.Go(func() {
+			if cerr := ctx.Err(); cerr != nil {
+				release()
+				e.err = cerr
+				return
+			}
 			t0 := time.Now()
 			data, derr := lossy.Decompress(blob)
 			decodeWork.Add(int64(time.Since(t0)))
@@ -376,12 +414,16 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 	}
 	restBlob, restRelease, err := src.readSection("metadata section")
 	if err != nil {
-		g.Wait()
-		return nil, nil, err
+		return fail(err)
 	}
 	var rest *tensor.StateDict
 	var restErr error
 	g.Go(func() {
+		if cerr := ctx.Err(); cerr != nil {
+			restRelease()
+			restErr = cerr
+			return
+		}
 		t0 := time.Now()
 		restRaw, derr := codec.Decompress(restBlob)
 		restRelease()
@@ -398,6 +440,9 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 		}
 	})
 	g.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if restErr != nil {
 		return nil, nil, restErr
 	}
@@ -435,9 +480,12 @@ func decompressSource(pool *sched.Pool, src streamSource) (*tensor.StateDict, *D
 			out.Add(e.Name, e.Kind, e.Tensor)
 		}
 	}
+	poolHits1, poolMisses1 := sched.BytePoolCounters()
 	return out, &DecompressStats{
 		DecompressTime: time.Since(start),
 		ReadWait:       src.wait(),
 		DecodeWork:     time.Duration(decodeWork.Load()),
+		PoolHits:       poolHits1 - poolHits0,
+		PoolMisses:     poolMisses1 - poolMisses0,
 	}, nil
 }

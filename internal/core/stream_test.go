@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"math/rand/v2"
@@ -62,7 +63,7 @@ func TestDecompressFromSlowReaderOverlapsDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	slow := &trickleReader{r: bytes.NewReader(stream), chunk: 4096, delay: 200 * time.Microsecond}
-	got, stats, err := DecompressFromWith(sched.NewPool(4), slow)
+	got, stats, err := DecompressFromWith(context.Background(), sched.NewPool(4), slow)
 	if err != nil {
 		t.Fatal(err)
 	}

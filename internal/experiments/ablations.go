@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -37,7 +38,7 @@ func AblatePartition(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := fed.Run(cfg.Rounds, 1)
+		res, err := fed.Run(context.Background(), cfg.Rounds, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +120,7 @@ func AblateLearningRate(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := base.Run(cfg.Rounds, 1)
+	res, err := base.Run(context.Background(), cfg.Rounds, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +131,7 @@ func AblateLearningRate(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := fed.Run(cfg.Rounds, 1)
+		res, err := fed.Run(context.Background(), cfg.Rounds, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"strings"
@@ -30,7 +31,7 @@ func Fig2(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := fed.Run(min(cfg.Rounds, 3), 1); err != nil {
+	if _, err := fed.Run(context.Background(), min(cfg.Rounds, 3), 1); err != nil {
 		return nil, err
 	}
 	weights := lossyPartitionData(fed.Global.StateDict(), 0)
@@ -138,7 +139,7 @@ func Fig4(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := fed.Run(cfg.Rounds, 1)
+		results, err := fed.Run(context.Background(), cfg.Rounds, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +171,7 @@ func Fig5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rawRes, err := fedRaw.Run(cfg.Rounds, 1)
+		rawRes, err := fedRaw.Run(context.Background(), cfg.Rounds, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +182,7 @@ func Fig5(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := fed.Run(cfg.Rounds, 1)
+			res, err := fed.Run(context.Background(), cfg.Rounds, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -208,7 +209,7 @@ func Fig6(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := fed.RunRound(0, 1)
+		res, err := fed.RunRound(context.Background(), 0, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +346,7 @@ func Fig9(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := fed.RunRound(0, 1)
+	res, err := fed.RunRound(context.Background(), 0, 1)
 	if err != nil {
 		return nil, err
 	}

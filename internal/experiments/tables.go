@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -95,7 +96,7 @@ func table1Accuracy(cfg Config, modelName, compName string, eb float64) (float64
 	if err != nil {
 		return 0, err
 	}
-	results, err := fed.Run(cfg.Rounds, 1)
+	results, err := fed.Run(context.Background(), cfg.Rounds, 1)
 	if err != nil {
 		return 0, err
 	}

@@ -5,6 +5,8 @@
 package fl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -16,19 +18,22 @@ import (
 	"repro/internal/flserve"
 	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
 // Transport encodes a client's state dict for the wire and decodes it at
-// the server — the seam where FedSZ plugs in.
+// the server — the seam where FedSZ plugs in. Every method honours ctx
+// cancellation (best-effort for the in-memory transports, end-to-end for
+// the socket-backed one).
 type Transport interface {
 	// Name identifies the transport in experiment output.
 	Name() string
 	// Encode serializes the update; returns the payload and byte counts
 	// (raw, wire) plus the compression time spent.
-	Encode(sd *tensor.StateDict) (payload []byte, rawBytes int, err error)
+	Encode(ctx context.Context, sd *tensor.StateDict) (payload []byte, rawBytes int, err error)
 	// Decode reverses Encode.
-	Decode(payload []byte) (*tensor.StateDict, error)
+	Decode(ctx context.Context, payload []byte) (*tensor.StateDict, error)
 }
 
 // BatchTransport is an optional Transport extension: a server-side decoder
@@ -40,7 +45,37 @@ type BatchTransport interface {
 	// identical to calling Decode on each payload. The returned durations
 	// report each payload's own decode time (summed, they reproduce the
 	// serial per-client cost the paper's Figure 6 accounts).
-	DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error)
+	DecodeAll(ctx context.Context, payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error)
+}
+
+// StreamRound is what one fused encode+upload+decode pass over a batch of
+// client updates produced.
+type StreamRound struct {
+	// Decoded holds the server-side decoded dicts, index-aligned with the
+	// input state dicts.
+	Decoded []*tensor.StateDict
+	// EncodeDur and DecodeDur report each client's own compress/decode
+	// work, socket waits excluded — the per-client accounting of paper
+	// Figure 6 regardless of how uploads and decodes overlapped.
+	EncodeDur []time.Duration
+	DecodeDur []time.Duration
+	// RawBytes sums the uncompressed update sizes; WireBytes counts the
+	// bytes that actually crossed the socket (framing included).
+	RawBytes  int
+	WireBytes int64
+}
+
+// StreamBatchTransport is an optional Transport extension for transports
+// that can fuse client-side encode with the upload itself: each state
+// dict compresses section-by-section straight into the transport — no
+// intermediate whole-stream payload — while the server decodes it as it
+// arrives. RunRound prefers this over Encode+DecodeAll when available.
+type StreamBatchTransport interface {
+	Transport
+	// EncodeUploadAll streams every state dict through the transport and
+	// returns the server-decoded results in input order. Results must be
+	// bit-identical to Decode(Encode(sd)).
+	EncodeUploadAll(ctx context.Context, sds []*tensor.StateDict) (*StreamRound, error)
 }
 
 // RawTransport transmits the uncompressed serialized state dict.
@@ -50,13 +85,13 @@ type RawTransport struct{}
 func (RawTransport) Name() string { return "uncompressed" }
 
 // Encode implements Transport.
-func (RawTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
+func (RawTransport) Encode(_ context.Context, sd *tensor.StateDict) ([]byte, int, error) {
 	b := sd.Marshal()
 	return b, sd.SizeBytes(), nil
 }
 
 // Decode implements Transport.
-func (RawTransport) Decode(p []byte) (*tensor.StateDict, error) {
+func (RawTransport) Decode(_ context.Context, p []byte) (*tensor.StateDict, error) {
 	return tensor.UnmarshalStateDict(p)
 }
 
@@ -80,8 +115,8 @@ func NewFedSZTransport(opts core.Options) *FedSZTransport {
 func (t *FedSZTransport) Name() string { return "fedsz" }
 
 // Encode implements Transport.
-func (t *FedSZTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
-	payload, stats, err := core.Compress(sd, t.Opts)
+func (t *FedSZTransport) Encode(ctx context.Context, sd *tensor.StateDict) ([]byte, int, error) {
+	payload, stats, err := core.CompressWith(ctx, sched.Default(), sd, t.Opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -92,15 +127,15 @@ func (t *FedSZTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
 }
 
 // Decode implements Transport.
-func (t *FedSZTransport) Decode(p []byte) (*tensor.StateDict, error) {
-	sd, _, err := core.Decompress(p)
+func (t *FedSZTransport) Decode(ctx context.Context, p []byte) (*tensor.StateDict, error) {
+	sd, _, err := core.DecompressWith(ctx, sched.Default(), p)
 	return sd, err
 }
 
 // DecodeAll implements BatchTransport: the whole round's payloads decode
 // under one shared parallelism budget.
-func (t *FedSZTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
-	sds, stats, err := core.DecompressAll(payloads, t.Parallel)
+func (t *FedSZTransport) DecodeAll(ctx context.Context, payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
+	sds, stats, err := core.DecompressAll(ctx, payloads, t.Parallel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -112,12 +147,19 @@ func (t *FedSZTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []ti
 }
 
 // NetTransport is FedSZTransport carried over real loopback TCP: client
-// payloads upload concurrently to an in-process flserve aggregation
-// server, which decodes each tensor while the next is still arriving (see
+// updates upload to an in-process flserve aggregation server, which
+// decodes each tensor while the next is still arriving (see
 // internal/flserve for the pipelining and backpressure model). Where
 // FedSZTransport.DecodeAll measures the batched in-memory path, this
 // transport measures the same round end-to-end on sockets — framing,
 // CRC verification, kernel buffers, and TCP flow control included.
+//
+// A round's uploads are multiplexed over a handful of reused connections
+// (the flserve multi-update protocol), so dial and prelude cost is paid
+// per session, not per client. Through EncodeUploadAll the transport also
+// fuses the client-side encode into the upload: each state dict
+// compresses straight into its session's wire framer, overlapping encode
+// with send.
 type NetTransport struct {
 	Opts core.Options
 	// Parallel is the server-side decode budget (0 selects GOMAXPROCS).
@@ -125,10 +167,19 @@ type NetTransport struct {
 	// Link optionally throttles each client's upload to a constrained
 	// uplink (the paper's 10 Mbps edge setting); zero uploads unthrottled.
 	Link netsim.Link
+	// Sessions is how many connections a round's uploads are multiplexed
+	// over (0 selects min(4, clients)). 1 reproduces the strict
+	// one-connection-per-round mode.
+	Sessions int
+	// Timeout and Retries form the per-upload deadline/retry policy passed
+	// through to the flserve client (zero values: no per-attempt timeout,
+	// no retries).
+	Timeout time.Duration
+	Retries int
 	// LastStats holds the server's ingest counters from the most recent
-	// DecodeAll, including the decode/receive overlap ratio. It is written
-	// only as DecodeAll returns; read it after the round, not concurrently
-	// with one.
+	// batch call, including the decode/receive overlap ratio. It is
+	// written only as that call returns; read it after the round, not
+	// concurrently with one.
 	LastStats flserve.Stats
 }
 
@@ -141,8 +192,8 @@ func NewNetTransport(opts core.Options) *NetTransport {
 func (t *NetTransport) Name() string { return "fedsz+tcp" }
 
 // Encode implements Transport.
-func (t *NetTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
-	payload, stats, err := core.Compress(sd, t.Opts)
+func (t *NetTransport) Encode(ctx context.Context, sd *tensor.StateDict) ([]byte, int, error) {
+	payload, stats, err := core.CompressWith(ctx, sched.Default(), sd, t.Opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -150,28 +201,32 @@ func (t *NetTransport) Encode(sd *tensor.StateDict) ([]byte, int, error) {
 }
 
 // Decode implements Transport (the in-memory fallback for single payloads).
-func (t *NetTransport) Decode(p []byte) (*tensor.StateDict, error) {
-	sd, _, err := core.Decompress(p)
+func (t *NetTransport) Decode(ctx context.Context, p []byte) (*tensor.StateDict, error) {
+	sd, _, err := core.DecompressWith(ctx, sched.Default(), p)
 	return sd, err
 }
 
-// DecodeAll implements BatchTransport: it starts an ephemeral aggregation
-// server on a loopback socket, uploads every payload concurrently (client
-// i carries ID i), and returns the decoded dicts in payload order. Results
-// are bit-identical to Decode on each payload. The returned durations
-// report each payload's own decode cost (wall clock minus time blocked on
-// the socket), preserving the per-client accounting of paper Figure 6.
-func (t *NetTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
-	results := make([]*tensor.StateDict, len(payloads))
-	durs := make([]time.Duration, len(payloads))
+// netRound is the shared server+session scaffolding behind DecodeAll and
+// EncodeUploadAll: an ephemeral aggregation server, a handler collecting
+// results by client ID, and n updates multiplexed over a few reused
+// sessions. upload sends update i on its session.
+func (t *NetTransport) netRound(ctx context.Context, n int, upload func(ctx context.Context, s *flserve.Session, i int) error) ([]*tensor.StateDict, []time.Duration, error) {
+	results := make([]*tensor.StateDict, n)
+	durs := make([]time.Duration, n)
 	var mu sync.Mutex
 	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{
-		Parallel: t.Parallel,
+		Parallel:      t.Parallel,
+		UploadTimeout: t.Timeout,
 		Handler: func(u flserve.Update) error {
 			mu.Lock()
 			defer mu.Unlock()
-			if int(u.Client) >= len(results) || results[u.Client] != nil {
+			if int(u.Client) >= n {
 				return fmt.Errorf("fl: unexpected client id %d", u.Client)
+			}
+			if results[u.Client] != nil {
+				// A retry after a lost ack re-delivers an already-folded
+				// update; keep the first result (uploads are at-least-once).
+				return nil
 			}
 			results[u.Client] = u.State
 			d := u.Stats.DecompressTime - u.Stats.ReadWait
@@ -185,16 +240,80 @@ func (t *NetTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time
 	if err != nil {
 		return nil, nil, err
 	}
-	addr := srv.Addr().String()
-	upErrs := make([]error, len(payloads))
+
+	sessions := t.Sessions
+	if sessions <= 0 {
+		sessions = 4
+	}
+	sessions = min(sessions, n)
+	client := &flserve.Client{
+		Addr: srv.Addr().String(), Link: t.Link,
+		Timeout: t.Timeout, Retries: t.Retries,
+	}
+	upErrs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, p := range payloads {
+	// Stripe updates over the sessions: session s carries clients s,
+	// s+sessions, s+2·sessions, … sequentially over one connection. The
+	// client's Timeout/Retries policy applies per update: a transport
+	// failure closes the dead session, re-dials, and retries that update
+	// with backoff; a server rejection or context end fails it outright
+	// (the server drops the connection after any failed update, so the
+	// session is re-dialed either way).
+	for s := 0; s < sessions; s++ {
 		wg.Add(1)
-		go func(i int, p []byte) {
+		go func(s int) {
 			defer wg.Done()
-			c := &flserve.Client{Addr: addr, Link: t.Link}
-			upErrs[i] = c.Upload(uint32(i), p)
-		}(i, p)
+			var sess *flserve.Session
+			defer func() {
+				if sess != nil {
+					sess.Close()
+				}
+			}()
+			backoff := client.RetryBackoff
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			for i := s; i < n; i += sessions {
+				var err error
+				for try := 0; ; try++ {
+					actx, cancel := ctx, context.CancelFunc(func() {})
+					if client.Timeout > 0 {
+						actx, cancel = context.WithTimeout(ctx, client.Timeout)
+					}
+					if sess == nil {
+						sess, err = client.Dial(actx)
+					}
+					if err == nil {
+						err = upload(actx, sess, i)
+					}
+					cancel()
+					if err == nil {
+						break
+					}
+					// Any failure leaves the connection unusable.
+					if sess != nil {
+						sess.Close()
+						sess = nil
+					}
+					if errors.Is(err, flserve.ErrRejected) || ctx.Err() != nil || try >= client.Retries {
+						break
+					}
+					select {
+					case <-time.After(backoff):
+					case <-ctx.Done():
+					}
+					backoff *= 2
+				}
+				if upErrs[i] = err; err != nil {
+					// Fail this stripe's remaining clients rather than keep
+					// re-dialing into a presumably broken round.
+					for j := i + sessions; j < n; j += sessions {
+						upErrs[j] = fmt.Errorf("fl: session aborted by client %d failure", i)
+					}
+					return
+				}
+			}
+		}(s)
 	}
 	wg.Wait()
 	closeErr := srv.Close()
@@ -213,6 +332,55 @@ func (t *NetTransport) DecodeAll(payloads [][]byte) ([]*tensor.StateDict, []time
 	}
 	t.LastStats = srv.Stats()
 	return results, durs, nil
+}
+
+// DecodeAll implements BatchTransport: pre-compressed payloads upload over
+// the reused sessions (client i carries ID i) and the decoded dicts return
+// in payload order, bit-identical to Decode on each payload. The returned
+// durations report each payload's own decode cost (wall clock minus time
+// blocked on the socket), preserving the per-client accounting of paper
+// Figure 6.
+func (t *NetTransport) DecodeAll(ctx context.Context, payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
+	return t.netRound(ctx, len(payloads), func(ctx context.Context, s *flserve.Session, i int) error {
+		return s.Upload(ctx, uint32(i), payloads[i])
+	})
+}
+
+// EncodeUploadAll implements StreamBatchTransport: each state dict
+// compresses straight into its session's wire framer — header and tensor
+// sections hit the socket while later tensors are still compressing — so
+// no client ever materializes its whole compressed stream. Decoded
+// results are bit-identical to the in-memory pipeline's.
+func (t *NetTransport) EncodeUploadAll(ctx context.Context, sds []*tensor.StateDict) (*StreamRound, error) {
+	encDurs := make([]time.Duration, len(sds))
+	rawBytes := 0
+	for _, sd := range sds {
+		rawBytes += sd.SizeBytes()
+	}
+	decoded, decDurs, err := t.netRound(ctx, len(sds), func(ctx context.Context, s *flserve.Session, i int) error {
+		stats, err := s.UploadState(ctx, uint32(i), sds[i], t.Opts, sched.Default())
+		if err != nil {
+			return err
+		}
+		// The client's own compress cost, socket waits excluded — the
+		// encode-side mirror of the decode duration derivation.
+		d := stats.CompressTime - stats.WriteWait
+		if d < stats.EncodeWork {
+			d = stats.EncodeWork
+		}
+		encDurs[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamRound{
+		Decoded:   decoded,
+		EncodeDur: encDurs,
+		DecodeDur: decDurs,
+		RawBytes:  rawBytes,
+		WireBytes: t.LastStats.WireBytes,
+	}, nil
 }
 
 // Client is one FedAvg participant: a local model, a data shard, and an
@@ -315,13 +483,16 @@ func NewFederation(global *nn.Network, clients []*Client, transport Transport, t
 }
 
 // RunRound executes one FedAvg round: broadcast → parallel local training →
-// transport-encoded upload → aggregation → validation.
-func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
+// transport-encoded upload → aggregation → validation. Cancelling ctx
+// aborts the round between phases and inside the transport calls.
+func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*RoundResult, error) {
 	res := &RoundResult{Round: round}
 	globalState := f.Global.StateDict()
+	_, streaming := f.Transport.(StreamBatchTransport)
 
 	type clientOut struct {
 		payload  []byte
+		state    *tensor.StateDict
 		raw      int
 		loss     float64
 		trainDur time.Duration
@@ -341,21 +512,32 @@ func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
 			t0 := time.Now()
 			outs[i].loss = c.TrainEpochs(localEpochs)
 			outs[i].trainDur = time.Since(t0)
+			if streaming {
+				// A streaming transport fuses encode with upload; the
+				// client hands over its state dict instead of a payload.
+				outs[i].state = c.Net.StateDict()
+				return
+			}
 			t0 = time.Now()
-			payload, raw, err := f.Transport.Encode(c.Net.StateDict())
+			payload, raw, err := f.Transport.Encode(ctx, c.Net.StateDict())
 			outs[i].encDur = time.Since(t0)
 			outs[i].payload, outs[i].raw, outs[i].err = payload, raw, err
 		}(i, c)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	payloads := make([][]byte, len(outs))
+	states := make([]*tensor.StateDict, len(outs))
 	for i := range outs {
 		o := &outs[i]
 		if o.err != nil {
 			return nil, fmt.Errorf("fl: client %d: %w", i, o.err)
 		}
 		payloads[i] = o.payload
+		states[i] = o.state
 		res.Loss += o.loss / float64(len(f.Clients))
 		res.RawBytes += o.raw
 		res.WireBytes += len(o.payload)
@@ -366,18 +548,42 @@ func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
 	}
 
 	// Server-side decode + FedAvg aggregation in deterministic client
-	// order. A BatchTransport decodes chunk-wise under one shared
-	// parallelism budget; each chunk is folded into the accumulator and
-	// released before the next decodes, so peak memory stays
-	// O(chunk × model) rather than O(clients × model).
+	// order, chunk-wise so each chunk is folded into the accumulator and
+	// released before the next decodes — peak memory stays O(chunk × model)
+	// rather than O(clients × model). A StreamBatchTransport additionally
+	// fuses the encode into each chunk's upload; a BatchTransport decodes
+	// pre-encoded payloads under one shared parallelism budget.
 	acc := globalState.Zero()
 	weight := 1 / float32(len(f.Clients))
+	chunk := 2 * runtime.GOMAXPROCS(0)
 	t0 := time.Now()
-	if bt, ok := f.Transport.(BatchTransport); ok {
-		chunk := 2 * runtime.GOMAXPROCS(0)
+	switch tr := f.Transport.(type) {
+	case StreamBatchTransport:
+		for lo := 0; lo < len(states); lo += chunk {
+			hi := min(lo+chunk, len(states))
+			sr, err := tr.EncodeUploadAll(ctx, states[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("fl: stream round clients %d-%d: %w", lo, hi-1, err)
+			}
+			res.RawBytes += sr.RawBytes
+			res.WireBytes += int(sr.WireBytes)
+			for _, d := range sr.EncodeDur {
+				res.Timings.Compress += d
+			}
+			for _, d := range sr.DecodeDur {
+				res.Timings.Decompress += d
+			}
+			for i, sd := range sr.Decoded {
+				if err := acc.AddScaled(sd, weight); err != nil {
+					return nil, fmt.Errorf("fl: aggregate client %d: %w", lo+i, err)
+				}
+				states[lo+i] = nil
+			}
+		}
+	case BatchTransport:
 		for lo := 0; lo < len(payloads); lo += chunk {
 			hi := min(lo+chunk, len(payloads))
-			sds, durs, err := bt.DecodeAll(payloads[lo:hi])
+			sds, durs, err := tr.DecodeAll(ctx, payloads[lo:hi])
 			if err != nil {
 				return nil, fmt.Errorf("fl: batch decode clients %d-%d: %w", lo, hi-1, err)
 			}
@@ -391,10 +597,10 @@ func (f *Federation) RunRound(round, localEpochs int) (*RoundResult, error) {
 				payloads[lo+i] = nil
 			}
 		}
-	} else {
+	default:
 		for i, p := range payloads {
 			t1 := time.Now()
-			sd, err := f.Transport.Decode(p)
+			sd, err := f.Transport.Decode(ctx, p)
 			res.Timings.Decompress += time.Since(t1)
 			if err != nil {
 				return nil, fmt.Errorf("fl: decode client %d: %w", i, err)
@@ -430,10 +636,11 @@ func (f *Federation) Evaluate() float64 {
 }
 
 // Run executes rounds communication rounds and returns per-round results.
-func (f *Federation) Run(rounds, localEpochs int) ([]*RoundResult, error) {
+// Cancelling ctx stops after the in-flight round.
+func (f *Federation) Run(ctx context.Context, rounds, localEpochs int) ([]*RoundResult, error) {
 	out := make([]*RoundResult, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		res, err := f.RunRound(r, localEpochs)
+		res, err := f.RunRound(ctx, r, localEpochs)
 		if err != nil {
 			return out, err
 		}

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"bytes"
+	"context"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ebcl"
 	"repro/internal/nn/models"
+	"repro/internal/tensor"
 )
 
 // newTestFederation assembles a 4-client federation (the paper's client
@@ -72,7 +74,7 @@ var convergence = sync.OnceValue(func() *convergenceFixture {
 		return fx
 	}
 	fx.rawInitial = fedRaw.Evaluate()
-	if fx.raw, err = fedRaw.Run(convergenceRounds, 1); err != nil {
+	if fx.raw, err = fedRaw.Run(context.Background(), convergenceRounds, 1); err != nil {
 		fx.err = err
 		return fx
 	}
@@ -82,7 +84,7 @@ var convergence = sync.OnceValue(func() *convergenceFixture {
 		fx.err = err
 		return fx
 	}
-	fx.fedsz, fx.err = fedSZ.Run(convergenceRounds, 1)
+	fx.fedsz, fx.err = fedSZ.Run(context.Background(), convergenceRounds, 1)
 	return fx
 })
 
@@ -105,14 +107,14 @@ func TestRawTransportRoundTrip(t *testing.T) {
 	net, _ := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
 	sd := net.StateDict()
 	var tr RawTransport
-	p, raw, err := tr.Encode(sd)
+	p, raw, err := tr.Encode(context.Background(), sd)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if raw != sd.SizeBytes() {
 		t.Fatalf("raw bytes %d != %d", raw, sd.SizeBytes())
 	}
-	got, err := tr.Decode(p)
+	got, err := tr.Decode(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ func TestRoundPipelineSmoke(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			fed := smokeFederation(t, tc.transport, 42)
-			results, err := fed.Run(2, 1)
+			results, err := fed.Run(context.Background(), 2, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -251,12 +253,12 @@ func TestBatchDecodeMatchesPerPayload(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		payloads[i], _, err = tr.Encode(net.StateDict())
+		payloads[i], _, err = tr.Encode(context.Background(), net.StateDict())
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	batch, durs, err := bt.DecodeAll(payloads)
+	batch, durs, err := bt.DecodeAll(context.Background(), payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +271,7 @@ func TestBatchDecodeMatchesPerPayload(t *testing.T) {
 		}
 	}
 	for i, p := range payloads {
-		single, err := tr.Decode(p)
+		single, err := tr.Decode(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,12 +295,12 @@ func TestNetTransportMatchesInMemoryDecode(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		payloads[i], _, err = nt.Encode(net.StateDict())
+		payloads[i], _, err = nt.Encode(context.Background(), net.StateDict())
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	batch, durs, err := bt.DecodeAll(payloads)
+	batch, durs, err := bt.DecodeAll(context.Background(), payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +313,7 @@ func TestNetTransportMatchesInMemoryDecode(t *testing.T) {
 		}
 	}
 	for i, p := range payloads {
-		single, err := nt.Decode(p)
+		single, err := nt.Decode(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -333,14 +335,14 @@ func TestNetTransportRejectsCorruptPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good, _, err := nt.Encode(net.StateDict())
+	good, _, err := nt.Encode(context.Background(), net.StateDict())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Truncation is guaranteed-detectable corruption (a mid-payload bit
 	// flip may land in don't-care bytes and decode to garbage values).
 	bad := append([]byte(nil), good[:len(good)-7]...)
-	if _, _, err := nt.DecodeAll([][]byte{good, bad}); err == nil {
+	if _, _, err := nt.DecodeAll(context.Background(), [][]byte{good, bad}); err == nil {
 		t.Fatal("corrupt payload decoded without error")
 	}
 }
@@ -411,10 +413,93 @@ func BenchmarkFederatedRound(b *testing.B) {
 	fed := NewFederation(global, clients, NewFedSZTransport(core.Options{}), test)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fed.RunRound(i, 1)
+		res, err := fed.RunRound(context.Background(), i, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		benchSink = res.Accuracy
+	}
+}
+
+// TestNetTransportEncodeUploadAll: the fused streaming round — encode
+// straight into the socket, decode while receiving — must reproduce the
+// in-memory pipeline bit-for-bit and account bytes and timings.
+func TestNetTransportEncodeUploadAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	nt := NewNetTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	var st StreamBatchTransport = nt // compile-time: NetTransport streams
+
+	sds := make([]*tensor.StateDict, 5)
+	for i := range sds {
+		net, err := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sds[i] = net.StateDict()
+	}
+	sr, err := st.EncodeUploadAll(context.Background(), sds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Decoded) != len(sds) || len(sr.EncodeDur) != len(sds) || len(sr.DecodeDur) != len(sds) {
+		t.Fatalf("result sizes: %d/%d/%d for %d inputs",
+			len(sr.Decoded), len(sr.EncodeDur), len(sr.DecodeDur), len(sds))
+	}
+	for i, sd := range sds {
+		payload, _, err := nt.Encode(context.Background(), sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := nt.Decode(context.Background(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sr.Decoded[i].Marshal(), want.Marshal()) {
+			t.Fatalf("client %d: streamed-encode decode not bit-identical to in-memory", i)
+		}
+		if sr.EncodeDur[i] <= 0 || sr.DecodeDur[i] <= 0 {
+			t.Fatalf("client %d: timings missing (enc %v dec %v)", i, sr.EncodeDur[i], sr.DecodeDur[i])
+		}
+	}
+	if sr.RawBytes <= 0 || sr.WireBytes <= 0 {
+		t.Fatalf("byte accounting missing: %+v", sr)
+	}
+	if nt.LastStats.Updates != len(sds) || nt.LastStats.Rejected != 0 {
+		t.Fatalf("server stats %+v", nt.LastStats)
+	}
+}
+
+// TestNetTransportSingleSession: Sessions=1 carries the whole round over
+// one reused connection (the strict multi-update mode).
+func TestNetTransportSingleSession(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	nt := NewNetTransport(core.Options{LossyParams: ebcl.Rel(1e-2)})
+	nt.Sessions = 1
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		net, err := models.BuildMini("alexnet", rng, models.Input{Channels: 3, Height: 12, Width: 12, Classes: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i], _, err = nt.Encode(context.Background(), net.StateDict())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, _, err := nt.DecodeAll(context.Background(), payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		want, err := nt.Decode(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch[i].Marshal(), want.Marshal()) {
+			t.Fatalf("payload %d: single-session decode differs", i)
+		}
+	}
+	if nt.LastStats.Updates != len(payloads) {
+		t.Fatalf("server stats %+v", nt.LastStats)
 	}
 }

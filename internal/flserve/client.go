@@ -2,14 +2,26 @@ package flserve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
+
+// ErrRejected marks a server-side rejection: the server received the
+// update and refused it (decode failure, handler error). It is distinct
+// from a transport failure — the client's retry loop re-dials transport
+// failures but never retries a rejection.
+var ErrRejected = errors.New("flserve: server rejected update")
 
 // Client uploads FedSZ-compressed updates to an aggregation server.
 type Client struct {
@@ -18,41 +30,200 @@ type Client struct {
 	// Link optionally shapes the uplink to a constrained bandwidth (the
 	// paper's 10 Mbps edge setting); the zero value uploads unthrottled.
 	Link netsim.Link
+	// Timeout bounds each upload attempt end to end — dial through ack —
+	// on top of whatever deadline the caller's context carries (0 applies
+	// no per-attempt bound).
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed upload gets, re-dialing
+	// each time with doubling backoff. Only transport failures retry; a
+	// server rejection (ErrRejected) returns immediately. Delivery is
+	// at-least-once: an ack lost after the server folded the update makes
+	// the retry a duplicate, which handlers must tolerate or deduplicate
+	// by client ID.
+	Retries int
+	// RetryBackoff is the first retry delay (0 selects 50 ms); it doubles
+	// per attempt.
+	RetryBackoff time.Duration
 }
 
-// Upload sends one compressed update (a serialized FedSZ stream) under the
-// given client ID and waits for the server's ack: a nil return means the
-// server decoded and folded the update.
-func (c *Client) Upload(clientID uint32, stream []byte) error {
-	conn, err := net.Dial("tcp", c.Addr)
-	if err != nil {
-		return fmt.Errorf("flserve: dial %s: %w", c.Addr, err)
-	}
-	defer conn.Close()
+// Session is one dialed connection to an aggregation server carrying any
+// number of updates — the multi-update protocol that amortizes dial and
+// prelude cost across a round. Upload and UploadState may be called
+// repeatedly (not concurrently); each waits for the server's per-update
+// ack. Close the session when the round is done.
+type Session struct {
+	conn net.Conn
+	bw   *bufio.Writer
+}
 
+// Dial opens a session to c.Addr, honouring ctx for the connection
+// attempt, and sends the protocol magic (buffered until the first upload).
+func (c *Client) Dial(ctx context.Context) (*Session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flserve: dial %s: %w", c.Addr, err)
+	}
 	var dst io.Writer = conn
 	if c.Link.BandwidthMbps > 0 {
 		dst = c.Link.ThrottleWriter(conn)
 	}
-	bw := bufio.NewWriterSize(dst, 64<<10)
-	var prelude [8]byte
-	binary.LittleEndian.PutUint32(prelude[:], connMagic)
-	binary.LittleEndian.PutUint32(prelude[4:], clientID)
-	if _, err := bw.Write(prelude[:]); err != nil {
-		return fmt.Errorf("flserve: upload prelude: %w", err)
+	s := &Session{conn: conn, bw: bufio.NewWriterSize(dst, 64<<10)}
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], connMagic)
+	if _, err := s.bw.Write(magic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("flserve: session prelude: %w", err)
 	}
-	if err := wire.NewWriter(bw).WriteStream(stream); err != nil {
-		return fmt.Errorf("flserve: upload: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("flserve: upload flush: %w", err)
-	}
-	return readAck(conn)
+	return s, nil
 }
 
-// Upload is shorthand for an unthrottled single upload to addr.
+// Close ends the session. The server sees a clean EOF at the update
+// boundary and finishes the connection without a rejection.
+func (s *Session) Close() error { return s.conn.Close() }
+
+// arm wires ctx into the connection: the ctx deadline (if any) becomes the
+// conn deadline, and a cancellation cuts the conn immediately so blocked
+// reads and writes return. The returned stop must be called when the
+// operation finishes.
+func (s *Session) arm(ctx context.Context) func() {
+	if d, ok := ctx.Deadline(); ok {
+		s.conn.SetDeadline(d) //nolint:errcheck — a dead conn fails the next I/O anyway
+	} else {
+		s.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck — unblocks in-flight I/O
+	})
+	return func() { stop() }
+}
+
+// ctxErr prefers the context's error over the I/O failure it induced.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// Upload sends one pre-compressed update (a serialized FedSZ stream) under
+// the given client ID and waits for the server's ack: a nil return means
+// the server decoded and folded the update.
+func (s *Session) Upload(ctx context.Context, clientID uint32, stream []byte) error {
+	defer s.arm(ctx)()
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], clientID)
+	if _, err := s.bw.Write(idb[:]); err != nil {
+		return ctxErr(ctx, fmt.Errorf("flserve: upload prelude: %w", err))
+	}
+	if err := wire.NewWriter(s.bw).WriteStream(stream); err != nil {
+		return ctxErr(ctx, fmt.Errorf("flserve: upload: %w", err))
+	}
+	return s.finishUpdate(ctx)
+}
+
+// UploadState compresses sd straight into the session's wire framer — the
+// header and each finished tensor section hit the socket while later
+// tensors are still compressing on pool (nil compresses serially) — so the
+// upload overlaps the encode with no intermediate whole-stream buffer. The
+// returned stats carry the encode timings, including WriteWait and
+// EncodeOverlapRatio for the overlap actually achieved.
+func (s *Session) UploadState(ctx context.Context, clientID uint32, sd *tensor.StateDict, opts core.Options, pool *sched.Pool) (*core.Stats, error) {
+	defer s.arm(ctx)()
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], clientID)
+	if _, err := s.bw.Write(idb[:]); err != nil {
+		return nil, ctxErr(ctx, fmt.Errorf("flserve: upload prelude: %w", err))
+	}
+	stats, err := wire.EncodeStream(ctx, pool, wire.NewWriter(s.bw), sd, opts)
+	if err != nil {
+		return nil, ctxErr(ctx, fmt.Errorf("flserve: streaming upload: %w", err))
+	}
+	if err := s.finishUpdate(ctx); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func (s *Session) finishUpdate(ctx context.Context) error {
+	if err := s.bw.Flush(); err != nil {
+		return ctxErr(ctx, fmt.Errorf("flserve: upload flush: %w", err))
+	}
+	if err := readAck(s.conn); err != nil {
+		return ctxErr(ctx, err)
+	}
+	return nil
+}
+
+// Upload dials, sends one update, and waits for the ack, retrying
+// transport failures per the client's Retries/RetryBackoff policy.
+func (c *Client) Upload(ctx context.Context, clientID uint32, stream []byte) error {
+	return c.withRetry(ctx, func(actx context.Context) error {
+		s, err := c.Dial(actx)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		return s.Upload(actx, clientID, stream)
+	})
+}
+
+// UploadState dials and streams the compression of sd straight into the
+// socket (see Session.UploadState), retrying transport failures. On a
+// retry the state dict is re-encoded from scratch — nothing buffered from
+// the failed attempt is reused.
+func (c *Client) UploadState(ctx context.Context, clientID uint32, sd *tensor.StateDict, opts core.Options, pool *sched.Pool) (*core.Stats, error) {
+	var stats *core.Stats
+	err := c.withRetry(ctx, func(actx context.Context) error {
+		s, err := c.Dial(actx)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		stats, err = s.UploadState(actx, clientID, sd, opts, pool)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// withRetry runs attempt under the per-attempt Timeout, re-dialing
+// transport failures up to Retries times with doubling backoff. Context
+// cancellation and server rejections end the loop immediately.
+func (c *Client) withRetry(ctx context.Context, attempt func(context.Context) error) error {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var err error
+	for try := 0; ; try++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if c.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.Timeout)
+		}
+		err = attempt(actx)
+		cancel()
+		if err == nil || errors.Is(err, ErrRejected) || ctx.Err() != nil || try >= c.Retries {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// Upload is shorthand for an unthrottled single upload to addr with no
+// per-attempt timeout or retries.
 func Upload(addr string, clientID uint32, stream []byte) error {
-	return (&Client{Addr: addr}).Upload(clientID, stream)
+	return (&Client{Addr: addr}).Upload(context.Background(), clientID, stream)
 }
 
 func readAck(conn net.Conn) error {
@@ -65,11 +236,11 @@ func readAck(conn net.Conn) error {
 	}
 	var msgLen [2]byte
 	if _, err := io.ReadFull(conn, msgLen[:]); err != nil {
-		return fmt.Errorf("flserve: server rejected update")
+		return ErrRejected
 	}
 	msg := make([]byte, binary.LittleEndian.Uint16(msgLen[:]))
 	if _, err := io.ReadFull(conn, msg); err != nil {
-		return fmt.Errorf("flserve: server rejected update")
+		return ErrRejected
 	}
-	return fmt.Errorf("flserve: server rejected update: %s", msg)
+	return fmt.Errorf("%w: %s", ErrRejected, msg)
 }

@@ -6,15 +6,24 @@
 //
 // # Connection protocol
 //
-// One update per connection:
+// A connection opens with the "FLS1" magic and then carries any number of
+// updates — one wire stream each, acked individually — so a client (or a
+// whole round's worth of clients multiplexed by fl.NetTransport) pays the
+// dial and prelude cost once:
 //
-//	client → server: magic(u32 "FLS1") clientID(u32) wireStream
+//	client → server: magic(u32 "FLS1") update*
+//	update:          clientID(u32) wireStream
 //	server → client: status(u8) [msgLen(u16) msg]    (status 0 = accepted)
 //
-// wireStream is the internal/wire framing of a FedSZ stream; the ack is
-// written only after the update has been decoded, verified, and handed to
+// A clean EOF where the next clientID would start ends the connection; the
+// historical one-update-per-connection exchange is exactly the first
+// iteration of this loop, so old single-shot clients are wire-compatible.
+// wireStream is the internal/wire framing of a FedSZ stream; each ack is
+// written only after that update has been decoded, verified, and handed to
 // the handler, so a successful Upload means the server has durably folded
-// the update.
+// the update. After a failed update the server acks the error and drops
+// the connection (stream synchronization is unreliable past a damaged
+// frame); clients resume on a fresh dial.
 //
 // # Pipelining and backpressure
 //
@@ -35,6 +44,7 @@ package flserve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -62,8 +72,10 @@ type Update struct {
 	Client uint32
 	// State is the decoded state dict; the handler takes ownership.
 	State *tensor.StateDict
-	// WireBytes counts the raw socket bytes the update consumed (prelude
-	// plus framing plus payload).
+	// WireBytes counts the bytes this update occupied on the wire: its
+	// share of the connection prelude, the clientID, and the full wire
+	// stream (framing plus payload), computed from the de-framer's logical
+	// counts so it stays exact on multi-update connections.
 	WireBytes int64
 	// Stats carries the streaming decode's timing, including ReadWait and
 	// DecodeWork for overlap accounting.
@@ -90,6 +102,11 @@ type Config struct {
 	// deadline is refreshed on every read, so slow-but-moving uploads are
 	// unaffected.
 	IdleTimeout time.Duration
+	// UploadTimeout bounds one update end to end — clientID through ack —
+	// regardless of how steadily it trickles in (0 disables). It becomes
+	// the per-update context deadline: blocked reads are cut at the
+	// deadline and in-flight decode workers for that update exit early.
+	UploadTimeout time.Duration
 }
 
 // defaultIdleTimeout is Config.IdleTimeout's zero-value default.
@@ -104,8 +121,8 @@ type Stats struct {
 	// WireBytes sums raw socket bytes across accepted updates.
 	WireBytes int64
 	// ReadWait, DecodeWork, and Wall sum the corresponding per-update
-	// decode timings (Wall is summed per-connection wall clock, not server
-	// uptime).
+	// decode timings (Wall is summed per-update wall clock — clientID
+	// through handler return — not server uptime).
 	ReadWait   time.Duration
 	DecodeWork time.Duration
 	Wall       time.Duration
@@ -236,78 +253,136 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connReader counts raw socket bytes for the WireBytes accounting and
-// refreshes the idle deadline before each read, so only a connection that
-// stops delivering bytes for the whole timeout gets dropped.
+// connReader refreshes the idle deadline before each read, so only a
+// connection that stops delivering bytes for the whole timeout gets
+// dropped. An update deadline, when set, caps every refresh so a
+// trickling upload cannot outlive its UploadTimeout.
 type connReader struct {
-	conn net.Conn
-	idle time.Duration
-	n    int64
+	conn     net.Conn
+	idle     time.Duration
+	deadline time.Time
 }
 
 func (c *connReader) Read(p []byte) (int, error) {
+	var d time.Time
 	if c.idle > 0 {
-		if err := c.conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		d = time.Now().Add(c.idle)
+	}
+	if !c.deadline.IsZero() && (d.IsZero() || c.deadline.Before(d)) {
+		d = c.deadline
+	}
+	if !d.IsZero() {
+		if err := c.conn.SetReadDeadline(d); err != nil {
 			return 0, err
 		}
 	}
-	n, err := c.conn.Read(p)
-	c.n += int64(n)
-	return n, err
+	return c.conn.Read(p)
 }
 
+// handleConn serves one connection's update loop: magic once, then any
+// number of [clientID, wire stream] updates, each acked after its decode
+// and handler fold. The connection ends on a clean EOF at an update
+// boundary, on any failed update (acked, then dropped), or on idle/upload
+// timeout.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	start := time.Now()
 	cr := &connReader{conn: conn, idle: s.cfg.IdleTimeout}
 	br := bufio.NewReaderSize(cr, 32<<10)
 
-	u, err := s.ingest(br)
-	if err == nil {
-		u.WireBytes = cr.n
-		err = s.cfg.Handler(*u)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		s.reject(conn, fmt.Errorf("%w: connection magic: %v", core.ErrCorrupt, err))
+		return
 	}
+	if binary.LittleEndian.Uint32(magic[:]) != connMagic {
+		s.reject(conn, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt))
+		return
+	}
+
+	first := true // update 1 carries the connection magic in its WireBytes
+	for {
+		var idb [4]byte
+		if _, err := io.ReadFull(br, idb[:]); err != nil {
+			if err != io.EOF {
+				// Mid-record death (truncated ID, idle timeout): the peer did
+				// not end the connection at an update boundary.
+				s.reject(conn, fmt.Errorf("%w: update prelude: %v", core.ErrCorrupt, err))
+			}
+			return
+		}
+		client := binary.LittleEndian.Uint32(idb[:])
+		start := time.Now()
+
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if s.cfg.UploadTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.UploadTimeout)
+			cr.deadline = time.Now().Add(s.cfg.UploadTimeout)
+		}
+		u, err := s.ingestUpdate(ctx, br, client)
+		cancel()
+		cr.deadline = time.Time{}
+
+		if err == nil {
+			u.WireBytes += int64(len(idb))
+			if first {
+				u.WireBytes += int64(len(magic))
+			}
+			err = s.cfg.Handler(*u)
+		}
+		first = false
+		s.mu.Lock()
+		if err != nil {
+			s.stats.Rejected++
+		} else {
+			s.stats.Updates++
+			s.stats.WireBytes += u.WireBytes
+			s.stats.ReadWait += u.Stats.ReadWait
+			s.stats.DecodeWork += u.Stats.DecodeWork
+			s.stats.Wall += time.Since(start)
+		}
+		s.mu.Unlock()
+		writeAck(conn, err)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// reject accounts and acks a connection-level failure.
+func (s *Server) reject(conn net.Conn, err error) {
 	s.mu.Lock()
-	if err != nil {
-		s.stats.Rejected++
-	} else {
-		s.stats.Updates++
-		s.stats.WireBytes += u.WireBytes
-		s.stats.ReadWait += u.Stats.ReadWait
-		s.stats.DecodeWork += u.Stats.DecodeWork
-		s.stats.Wall += time.Since(start)
-	}
+	s.stats.Rejected++
 	s.mu.Unlock()
 	writeAck(conn, err)
 }
 
-// ingest reads one update off the connection: prelude, wire-framed FedSZ
-// stream (decoded incrementally on the shared pool), trailer verification.
-func (s *Server) ingest(br *bufio.Reader) (*Update, error) {
-	var prelude [8]byte
-	if _, err := io.ReadFull(br, prelude[:]); err != nil {
-		return nil, fmt.Errorf("%w: connection prelude: %v", core.ErrCorrupt, err)
-	}
-	if binary.LittleEndian.Uint32(prelude[:]) != connMagic {
-		return nil, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt)
-	}
-	client := binary.LittleEndian.Uint32(prelude[4:])
-
+// ingestUpdate reads one update off the connection: a wire-framed FedSZ
+// stream decoded incrementally on the shared pool under the update's
+// context, then trailer verification. The returned WireBytes covers the
+// wire stream only (the caller adds the per-update prelude); it is
+// computed from the de-framer's logical counts, which stay exact under
+// the multi-update protocol where bufio read-ahead may already hold the
+// next update's bytes.
+func (s *Server) ingestUpdate(ctx context.Context, br *bufio.Reader, client uint32) (*Update, error) {
 	wr := wire.NewReader(br)
-	sd, dstats, err := core.DecompressFromWith(s.pool, wr)
+	defer wr.Close()
+	sd, dstats, err := core.DecompressFromWith(ctx, s.pool, wr)
 	if err != nil {
-		wr.Close()
 		return nil, err
 	}
 	// The decoder consumes exactly the logical stream; the wire trailer
 	// (frame counts + whole-stream CRC) may still be pending. Drain to EOF
 	// so an update is only ever acked after its trailer verified.
 	if _, err := io.Copy(io.Discard, wr); err != nil {
-		wr.Close()
 		return nil, err
 	}
-	wr.Close()
-	return &Update{Client: client, State: sd, Stats: *dstats}, nil
+	return &Update{
+		Client:    client,
+		State:     sd,
+		WireBytes: wr.WireBytes(),
+		Stats:     *dstats,
+	}, nil
 }
 
 func writeAck(conn net.Conn, err error) {
@@ -330,10 +405,24 @@ func writeAck(conn net.Conn, err error) {
 // FedAvg sum — each update is added and released as it completes, so peak
 // memory is one accumulator plus in-flight decodes, independent of client
 // count.
+//
+// Client uploads are at-least-once under the retry policy (an ack lost
+// after the fold makes the retry a duplicate), so handlers must tolerate
+// or deduplicate; set DedupByClient when each client contributes exactly
+// one update per Aggregator lifetime.
 type Aggregator struct {
-	mu  sync.Mutex
-	sum *tensor.StateDict
-	n   int
+	// DedupByClient makes Add fold only the first update per client ID and
+	// silently accept (ack, drop) any later duplicate — the right setting
+	// for a single-round aggregation where a retried upload must not
+	// double-weight its client. Leave false when one client legitimately
+	// contributes multiple updates (e.g. a long-lived server spanning
+	// rounds). Set before the first Add.
+	DedupByClient bool
+
+	mu   sync.Mutex
+	sum  *tensor.StateDict
+	n    int
+	seen map[uint32]bool
 }
 
 // Add folds one update into the accumulator; it is the Handler for an
@@ -341,6 +430,15 @@ type Aggregator struct {
 func (a *Aggregator) Add(u Update) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.DedupByClient {
+		if a.seen == nil {
+			a.seen = make(map[uint32]bool)
+		}
+		if a.seen[u.Client] {
+			return nil // retried duplicate: ack success, fold nothing
+		}
+		a.seen[u.Client] = true
+	}
 	if a.sum == nil {
 		a.sum = u.State
 		a.n = 1

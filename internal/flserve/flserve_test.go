@@ -2,6 +2,7 @@ package flserve
 
 import (
 	"bytes"
+	"context"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -73,7 +74,7 @@ func uploadAll(t *testing.T, addr string, streams [][]byte, link netsim.Link) {
 		go func(i int, s []byte) {
 			defer wg.Done()
 			c := &Client{Addr: addr, Link: link}
-			errs[i] = c.Upload(uint32(i), s)
+			errs[i] = c.Upload(context.Background(), uint32(i), s)
 		}(i, s)
 	}
 	wg.Wait()
@@ -288,7 +289,7 @@ func TestGarbagePreludeRejected(t *testing.T) {
 	c := &Client{Addr: srv.Addr().String()}
 	// Valid stream, but uploaded to a server expecting the prelude first —
 	// simulate by corrupting the magic via a raw wire write.
-	if err := c.Upload(0, streams[0]); err != nil {
+	if err := c.Upload(context.Background(), 0, streams[0]); err != nil {
 		t.Fatalf("control upload failed: %v", err)
 	}
 	if err := rawUpload(srv.Addr().String(), []byte("GARBAGEGARBAGE")); err == nil {

@@ -18,7 +18,9 @@
 package sched
 
 import (
+	"context"
 	"io"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,6 +60,16 @@ func (p *Pool) Parallelism() int {
 		return 1
 	}
 	return cap(p.sem) + 1
+}
+
+// Busy returns the number of helper tokens currently held (0 for a nil or
+// quiescent pool) — the observable for asserting that an aborted ForEach
+// or Group drained without leaking pool slots.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.sem)
 }
 
 // ForEach runs fn(i) for every i in [0, n). The calling goroutine always
@@ -103,6 +115,25 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 	work()
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// new indices are claimed (items already running finish), and the context's
+// error is returned. fn is never told about the cancellation — callers that
+// need per-item errors should check ctx inside fn as well. A nil ctx is
+// treated as context.Background().
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		p.ForEach(n, fn)
+		return nil
+	}
+	p.ForEach(n, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		fn(i)
+	})
+	return ctx.Err()
 }
 
 // Group schedules independent tasks against the pool's helper budget
@@ -191,19 +222,104 @@ func (p *slicePool[T]) put(s []T) {
 }
 
 var (
-	bytePool = newSlicePool[byte](1)
-	u16Pool  = newSlicePool[uint16](2)
-	u64Pool  = newSlicePool[uint64](8)
+	u16Pool = newSlicePool[uint16](2)
+	u64Pool = newSlicePool[uint64](8)
 )
 
+// Byte buffers are the pipeline's highest-churn allocation (every tensor
+// blob, wire frame, and lossless scratch passes through GetBytes), and
+// under a streaming server the requested sizes are wildly mixed: 100-byte
+// metadata sections next to multi-megabyte weight blobs. A single pool
+// class degenerates there — a small request can "win" a huge buffer and
+// pin it, or a big request can miss because the pool only holds small
+// ones. GetBytes therefore rounds requests up to power-of-two size
+// classes with one sync.Pool per class: requests only ever hit buffers of
+// their own class, so many concurrent connections with mixed tensor sizes
+// stop churning one shared free list.
+const (
+	// minClassBits floors the classes at 64 B; smaller buffers are cheaper
+	// to allocate than to pool.
+	minClassBits = 6
+	// maxClassBits caps pooled retention at 64 MiB (== maxPooledBytes), so
+	// a one-off giant model does not pin its buffers forever.
+	maxClassBits = 26
+)
+
+type classedBytePool struct {
+	classes [maxClassBits + 1]sync.Pool
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// classFor returns the smallest class whose buffers hold n bytes.
+func classFor(n int) int {
+	c := bits.Len(uint(n - 1))
+	if n <= 1 {
+		c = 0
+	}
+	if c < minClassBits {
+		c = minClassBits
+	}
+	return c
+}
+
+func (p *classedBytePool) get(n int) []byte {
+	if n > maxPooledBytes {
+		p.misses.Add(1)
+		return make([]byte, 0, n)
+	}
+	c := classFor(n)
+	if sp, ok := p.classes[c].Get().(*[]byte); ok {
+		s := *sp
+		*sp = nil
+		p.classes[c].Put(sp)
+		// Floor-capacity filing guarantees cap(s) >= 1<<c >= n; the check is
+		// defensive against a future filing change.
+		if cap(s) >= n {
+			p.hits.Add(1)
+			return s[:0]
+		}
+	}
+	p.misses.Add(1)
+	return make([]byte, 0, 1<<c)
+}
+
+func (p *classedBytePool) put(s []byte) {
+	// Buffers file under the class their capacity fully covers (floor of
+	// log2), so a future get from that class always has enough room even
+	// when the capacity is not an exact power of two.
+	if cap(s) < 1<<minClassBits || cap(s) > maxPooledBytes {
+		return
+	}
+	c := bits.Len(uint(cap(s))) - 1
+	s = s[:0]
+	sp, ok := p.classes[c].Get().(*[]byte)
+	if !ok {
+		sp = new([]byte)
+	}
+	*sp = s
+	p.classes[c].Put(sp)
+}
+
+var bytePool classedBytePool
+
 // GetBytes returns a zero-length byte slice with capacity at least n,
-// reusing a pooled buffer when one is large enough. Pass the result to
-// PutBytes when it is no longer referenced anywhere.
+// reusing a pooled buffer of n's power-of-two size class when one is
+// available. Pass the result to PutBytes when it is no longer referenced
+// anywhere.
 func GetBytes(n int) []byte { return bytePool.get(n) }
 
 // PutBytes recycles b for a future GetBytes. The caller must not retain
 // any reference (including sub-slices) to b afterwards.
 func PutBytes(b []byte) { bytePool.put(b) }
+
+// BytePoolCounters reports the process-wide GetBytes hit/miss totals —
+// the observable for deciding whether concurrent connections are churning
+// the pools. Callers snapshot before/after a region and diff; under
+// concurrency the delta attributes shared traffic approximately.
+func BytePoolCounters() (hits, misses uint64) {
+	return bytePool.hits.Load(), bytePool.misses.Load()
+}
 
 // GetUint16s returns a zero-length uint16 slice with capacity at least n —
 // the scratch type the entropy stage moves quantization codes in.

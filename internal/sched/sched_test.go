@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -233,4 +234,71 @@ func BenchmarkForEachOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.ForEach(16, func(j int) { sink.Add(1) })
 	}
+}
+
+func TestForEachCtxCancelled(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := p.ForEachCtx(ctx, 100, func(i int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a cancelled context", ran.Load())
+	}
+	if err := p.ForEachCtx(context.Background(), 10, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("live context ran %d of 10 items", ran.Load())
+	}
+}
+
+func TestGetBytesSizeClasses(t *testing.T) {
+	// A fresh pooled buffer is rounded up to its power-of-two class.
+	b := GetBytes(1000)
+	if cap(b) < 1024 {
+		t.Fatalf("cap %d, want at least the 1024 class", cap(b))
+	}
+	PutBytes(b)
+	// Same-class requests reuse pooled buffers. sync.Pool drops items
+	// randomly under the race detector, so assert statistically: across
+	// many put/get rounds at least one must hit, and every buffer handed
+	// out is the exact class capacity.
+	h0, _ := BytePoolCounters()
+	for i := 0; i < 64; i++ {
+		b2 := GetBytes(600)
+		if cap(b2) < 1024 {
+			t.Fatalf("reused cap %d, want at least the 1024 class", cap(b2))
+		}
+		PutBytes(b2)
+	}
+	if h1, _ := BytePoolCounters(); h1 == h0 {
+		t.Fatal("64 same-class put/get rounds never hit the pool")
+	}
+	// A much larger class must never steal a small buffer: the handed-out
+	// capacity is always the request's own class.
+	big := GetBytes(1 << 20)
+	if cap(big) < 1<<20 {
+		t.Fatalf("big cap %d, want at least 1<<20", cap(big))
+	}
+	PutBytes(big)
+	// Tiny buffers are not pooled at all.
+	tiny := GetBytes(8)
+	if cap(tiny) < 64 {
+		t.Fatalf("tiny cap %d, want at least the floor class 64", cap(tiny))
+	}
+}
+
+func TestPutBytesForeignCapacityFilesByFloor(t *testing.T) {
+	// A buffer whose capacity is not a power of two files under the class
+	// its capacity fully covers, so a later get still fits.
+	odd := make([]byte, 0, 1536) // floor class 1024
+	PutBytes(odd)
+	got := GetBytes(900)
+	if cap(got) < 900 {
+		t.Fatalf("foreign buffer reused with cap %d for a 900-byte request", cap(got))
+	}
+	PutBytes(got)
 }

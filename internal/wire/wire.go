@@ -30,6 +30,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -37,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/tensor"
 )
 
 // Frame kinds.
@@ -148,6 +150,27 @@ func (w *Writer) Close() error {
 	return nil
 }
 
+// WriteSection frames one section of core's incremental encoder
+// (CompressSections emit callback). Section kinds map 1:1 onto frame
+// kinds, so compressing straight into a wire.Writer produces exactly the
+// frames WriteStream would emit for the buffered stream — without the
+// sender ever materializing that stream. The caller must Close the writer
+// after a successful encode (and drop the connection on failure).
+func (w *Writer) WriteSection(kind core.SectionKind, payload []byte) error {
+	var fk byte
+	switch kind {
+	case core.SectionHeader:
+		fk = FrameHeader
+	case core.SectionTensor:
+		fk = FrameTensor
+	case core.SectionLossless:
+		fk = FrameLossless
+	default:
+		return fmt.Errorf("wire: unknown section kind %d", kind)
+	}
+	return w.WriteFrame(fk, payload)
+}
+
 // WriteStream frames a complete serialized FedSZ stream — one header
 // frame, one frame per lossy tensor, one lossless frame — and closes with
 // the trailer. The receiver-side payload concatenation reproduces stream
@@ -169,6 +192,22 @@ func (w *Writer) WriteStream(stream []byte) error {
 		return err
 	}
 	return w.Close()
+}
+
+// EncodeStream compresses sd straight into wire frames on w — the
+// sender-side mirror of piping a Reader into core.DecompressFrom — and
+// closes the stream with the trailer on success. Each finished tensor
+// section ships while later tensors are still compressing on pool, so a
+// throttled uplink overlaps the encode instead of waiting for it.
+func EncodeStream(ctx context.Context, pool *sched.Pool, w *Writer, sd *tensor.StateDict, opts core.Options) (*core.Stats, error) {
+	stats, err := core.CompressSections(ctx, pool, sd, opts, w.WriteSection)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 // Reader de-frames a wire stream from r, implementing io.Reader over the
@@ -197,6 +236,23 @@ func (r *Reader) Frames() int { return int(r.frames) }
 
 // PayloadBytes returns the reassembled payload bytes consumed so far.
 func (r *Reader) PayloadBytes() int64 { return int64(r.payloadBytes) }
+
+// WireBytes returns the encoded length of the wire stream consumed so far
+// — preamble, frame headers, payloads, CRCs, and (once verified) the
+// trailer frame. After the final io.EOF this is exactly the byte count
+// the stream occupied on the wire, independent of how the underlying
+// reader buffered — the accounting a multi-update connection needs, where
+// read-ahead may already hold the next stream's bytes.
+func (r *Reader) WireBytes() int64 {
+	n := int64(frameHeaderLen+4)*int64(r.frames) + int64(r.payloadBytes)
+	if r.started {
+		n += 5 // preamble
+	}
+	if r.done {
+		n += frameHeaderLen + trailerLen + 4
+	}
+	return n
+}
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"math/rand/v2"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ebcl"
 	"repro/internal/eblctest"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -217,5 +219,43 @@ func TestEmptyAndJunkInputs(t *testing.T) {
 		if _, err := io.ReadAll(NewReader(bytes.NewReader(in))); !errors.Is(err, core.ErrCorrupt) {
 			t.Fatalf("junk %v: error %v does not wrap core.ErrCorrupt", in[:min(len(in), 8)], err)
 		}
+	}
+}
+
+// TestEncodeStreamMatchesWriteStream: compressing straight into wire
+// frames must produce byte-for-byte the frames WriteStream emits for the
+// buffered stream — the sender never needs to materialize the stream.
+func TestEncodeStreamMatchesWriteStream(t *testing.T) {
+	sd := testDict(rand.New(rand.NewPCG(5150, 1)))
+	opts := core.Options{LossyParams: ebcl.Rel(1e-2)}
+	stream, _, err := core.Compress(sd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buffered bytes.Buffer
+	if err := NewWriter(&buffered).WriteStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	stats, err := EncodeStream(context.Background(), sched.NewPool(2), NewWriter(&streamed), sd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buffered.Bytes()) {
+		t.Fatal("EncodeStream frames differ from WriteStream of the buffered stream")
+	}
+	if stats.CompressedBytes != len(stream) {
+		t.Fatalf("stats report %d payload bytes, stream is %d", stats.CompressedBytes, len(stream))
+	}
+	got, _, err := core.DecompressFrom(NewReader(bytes.NewReader(streamed.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := core.Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := got.MaxAbsDiff(want); err != nil || d != 0 {
+		t.Fatalf("round trip differs: d=%v err=%v", d, err)
 	}
 }
