@@ -184,8 +184,10 @@ func New(options ...Option) (*Codec, error) {
 				cfg.lossyName, strings.Join(compressors.Names(), ", "))
 		}
 		c.opts.Lossy = comp
-	} else {
-		c.opts.Lossy = cfg.lossy // nil selects the SZ2 default
+	} else if cfg.lossy != nil {
+		// A one-shot codec is promoted to the zero-copy contract here, so
+		// the pipeline always runs append/into calls.
+		c.opts.Lossy = ebcl.Adapt(cfg.lossy)
 	}
 	if cfg.losslessName != "" {
 		codec, err := lossless.Get(cfg.losslessName)

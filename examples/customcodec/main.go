@@ -22,11 +22,41 @@ import (
 // bins of width 2·ebAbs and stored as raw 16-bit codes. Residuals outside
 // the code range fall back to literals. It satisfies the same error-bound
 // contract as SZ2 but skips prediction and entropy coding entirely.
+//
+// It implements the zero-copy contract (fedsz.ZeroCopyCompressor)
+// directly: CompressAppend extends the caller's buffer, DecompressInto
+// reconstructs into the caller's buffer, DecodedLen probes the header, and
+// the one-shot Compress/Decompress are thin wrappers. A codec that only
+// has the one-shot pair still registers fine — the registry adapts it —
+// but pays one copy per call; implementing the three zero-copy methods is
+// what keeps a custom codec on the pipeline's pooled hot path.
 type uniformQuantizer struct{}
 
 func (uniformQuantizer) Name() string { return "uniform16" }
 
-func (uniformQuantizer) Compress(data []float32, p fedsz.Params) ([]byte, error) {
+// Compress is CompressAppend with a nil dst.
+func (u uniformQuantizer) Compress(data []float32, p fedsz.Params) ([]byte, error) {
+	return u.CompressAppend(nil, data, p)
+}
+
+// Decompress is DecompressInto with a nil dst.
+func (u uniformQuantizer) Decompress(stream []byte) ([]float32, error) {
+	return u.DecompressInto(nil, stream)
+}
+
+// DecodedLen reads the element count from the 16-byte header without
+// decoding any payload — callers use it to size the DecompressInto buffer.
+func (uniformQuantizer) DecodedLen(stream []byte) (int, error) {
+	if len(stream) < 16 {
+		return 0, errors.New("uniform16: short stream")
+	}
+	return int(binary.LittleEndian.Uint32(stream)), nil
+}
+
+// CompressAppend appends the encoded stream to dst, like append: the
+// appended bytes must not depend on dst's prior contents, and must alias
+// neither data nor any retained state.
+func (uniformQuantizer) CompressAppend(dst []byte, data []float32, p fedsz.Params) ([]byte, error) {
 	if p.Value <= 0 {
 		return nil, errors.New("uniform16: bound must be positive")
 	}
@@ -47,7 +77,7 @@ func (uniformQuantizer) Compress(data []float32, p fedsz.Params) ([]byte, error)
 	if p.Mode == fedsz.RelBound(1).Mode { // ModeRelative
 		ebAbs = p.Value * float64(hi-lo)
 	}
-	out := binary.LittleEndian.AppendUint32(nil, uint32(len(data)))
+	out := binary.LittleEndian.AppendUint32(dst, uint32(len(data)))
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
 	out = binary.LittleEndian.AppendUint32(out, math.Float32bits(lo))
 	if ebAbs == 0 {
@@ -69,7 +99,11 @@ func (uniformQuantizer) Compress(data []float32, p fedsz.Params) ([]byte, error)
 	return out, nil
 }
 
-func (uniformQuantizer) Decompress(stream []byte) ([]float32, error) {
+// DecompressInto reconstructs into dst's storage: the result reuses dst's
+// backing array when its capacity suffices and is freshly allocated
+// otherwise. Every element is overwritten, so a dirty recycled buffer
+// decodes identically to a nil one.
+func (uniformQuantizer) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
 	if len(stream) < 16 {
 		return nil, errors.New("uniform16: short stream")
 	}
@@ -77,7 +111,10 @@ func (uniformQuantizer) Decompress(stream []byte) ([]float32, error) {
 	ebAbs := math.Float64frombits(binary.LittleEndian.Uint64(stream[4:]))
 	lo := math.Float32frombits(binary.LittleEndian.Uint32(stream[12:]))
 	pos := 16
-	out := make([]float32, 0, n)
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	out := dst[:0]
 	if ebAbs == 0 {
 		for i := 0; i < n; i++ {
 			if pos+4 > len(stream) {

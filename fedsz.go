@@ -172,23 +172,52 @@ func DecompressAll(streams [][]byte, parallelism int) ([]*StateDict, error) {
 	return sds, err
 }
 
-// Compressor is an error-bounded lossy compressor over flat float32 data.
-type Compressor = ebcl.Compressor
+// Compressor is an error-bounded lossy compressor over flat float32 data —
+// the minimal one-shot contract a custom codec must implement (Name,
+// Compress, Decompress). The pipeline itself runs on the zero-copy
+// ZeroCopyCompressor contract; codecs implementing only this shape are
+// promoted automatically with AdaptCompressor, at the cost of one copy per
+// call.
+type Compressor = ebcl.BasicCompressor
+
+// ZeroCopyCompressor is the full append/into codec contract the pipeline
+// runs on: CompressAppend extends a caller-supplied byte buffer,
+// DecompressInto reconstructs into a caller-supplied float32 buffer sized
+// via DecodedLen, and the one-shot Compress/Decompress remain as thin
+// wrappers. All four built-in EBLCs implement it natively; custom codecs
+// should too (see examples/customcodec and the README migration note) so
+// their tensors ride the pooled hot path.
+type ZeroCopyCompressor = ebcl.Compressor
+
+// AdaptCompressor promotes a one-shot Compressor to the zero-copy
+// contract (a codec already implementing it passes through untouched) —
+// useful for placing a legacy codec in Options.Lossy directly.
+func AdaptCompressor(c Compressor) ZeroCopyCompressor { return ebcl.Adapt(c) }
 
 // CompressorByName returns one of the four EBLCs ("sz2", "sz3", "szx",
 // "zfp") for use in Options.Lossy.
-func CompressorByName(name string) (Compressor, error) { return compressors.Get(name) }
+func CompressorByName(name string) (ZeroCopyCompressor, error) { return compressors.Get(name) }
 
 // CompressorNames lists the available EBLCs.
 func CompressorNames() []string { return compressors.Names() }
 
 // RegisterCompressor adds a custom error-bounded compressor to the
 // registry so FedSZ streams produced with it can be decompressed (streams
-// carry the compressor name). Built-in names cannot be replaced. See
-// examples/customcodec for a full walk-through.
+// carry the compressor name). Built-in names cannot be replaced. The
+// factory may return a codec implementing just the one-shot Compressor
+// shape (it is adapted on resolution) or the full ZeroCopyCompressor
+// contract. See examples/customcodec for a full walk-through.
 func RegisterCompressor(name string, factory func() Compressor) error {
 	return compressors.Register(name, factory)
 }
+
+// Recycle returns a decoded state dict's tensor buffers to the shared
+// buffer pool. Decompress lands reconstructed tensors in pool-backed
+// buffers; an aggregation loop that folds each decoded dict into an
+// accumulator and discards it can call Recycle to hand the storage to the
+// next decode — the steady-state zero-allocation hot path. The dict must
+// not be used afterwards.
+func Recycle(sd *StateDict) { core.Release(sd) }
 
 // LosslessCodec compresses the metadata partition.
 type LosslessCodec = lossless.Codec

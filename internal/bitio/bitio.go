@@ -47,6 +47,14 @@ func NewWriterBuffer(buf []byte) *Writer {
 	return &Writer{buf: buf[:0]}
 }
 
+// NewWriterAppend returns a Writer that appends after buf's existing
+// contents — the zero-copy path for codecs emitting a bit stream directly
+// behind an already-written header: Bytes returns the header and the bit
+// stream in one slice, no intermediate buffer or copy.
+func NewWriterAppend(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
 // flushFullBytes drains complete bytes from the accumulator in one append,
 // rather than a byte at a time.
 func (w *Writer) flushFullBytes() {

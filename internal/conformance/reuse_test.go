@@ -1,0 +1,264 @@
+package conformance
+
+// Alias-safety and buffer-reuse suite for the zero-copy codec contract:
+// every EBLC must append/reconstruct identical bytes whether dst is nil, a
+// dirty recycled buffer, or carries a prefix; must fully overwrite the
+// decode range so garbage in a recycled buffer cannot leak; and must not
+// retain or alias the caller's input on either side. Run under -race in CI
+// (the race short pass covers this package).
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/compressors"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/sched"
+)
+
+// reuseParams returns the error-control settings exercised per codec.
+func reuseParams(name string) []ebcl.Params {
+	if name == "zfp" {
+		return []ebcl.Params{ebcl.Rel(1e-2), ebcl.Abs(1e-3), ebcl.Precision(14)}
+	}
+	return []ebcl.Params{ebcl.Rel(1e-2), ebcl.Abs(1e-3)}
+}
+
+// reuseInputs returns the data shapes exercised: weight-like bulk, block
+// boundary edges, tiny arrays, constant, empty, and (under ABS) non-finite.
+func reuseInputs(rng *rand.Rand, p ebcl.Params) map[string][]float32 {
+	in := map[string][]float32{
+		"weights":   eblctest.WeightLike(rng, 10000),
+		"block127":  eblctest.WeightLike(rng, 127),
+		"block129":  eblctest.WeightLike(rng, 129),
+		"tiny":      eblctest.WeightLike(rng, 3),
+		"single":    {0.25},
+		"constant":  {1.5, 1.5, 1.5, 1.5, 1.5},
+		"empty":     {},
+		"smooth257": eblctest.SmoothLike(rng, 257),
+	}
+	if p.Mode == ebcl.ModeAbsolute {
+		nf := eblctest.WeightLike(rng, 500)
+		nf[7] = float32(math.NaN())
+		nf[123] = float32(math.Inf(1))
+		nf[499] = float32(math.Inf(-1))
+		in["nonfinite"] = nf
+	}
+	return in
+}
+
+// dirtyBytes returns a pooled byte buffer of at least n capacity with its
+// full capacity poisoned.
+func dirtyBytes(n int) []byte {
+	b := sched.GetBytes(n)
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0xA5
+	}
+	return b[:0]
+}
+
+// dirtyFloats returns a pooled float buffer of at least n capacity
+// poisoned with NaNs — the worst garbage a recycled reconstruction buffer
+// could carry.
+func dirtyFloats(n int) []float32 {
+	f := sched.GetFloats(n)
+	f = f[:cap(f)]
+	for i := range f {
+		f[i] = float32(math.NaN())
+	}
+	return f[:0]
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func testCodecReuse(t *testing.T, c ebcl.Compressor, p ebcl.Params, data []float32) {
+	t.Helper()
+
+	// Baseline via the one-shot path.
+	ref, err := c.Compress(data, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	// CompressAppend(nil) must reproduce Compress exactly.
+	fromNil, err := c.CompressAppend(nil, data, p)
+	if err != nil {
+		t.Fatalf("CompressAppend(nil): %v", err)
+	}
+	if !bytes.Equal(fromNil, ref) {
+		t.Fatalf("CompressAppend(nil) differs from Compress (%d vs %d bytes)", len(fromNil), len(ref))
+	}
+
+	// A dirty recycled dst must yield the same bytes.
+	dirty := dirtyBytes(len(ref) + 32)
+	fromDirty, err := c.CompressAppend(dirty, data, p)
+	if err != nil {
+		t.Fatalf("CompressAppend(dirty): %v", err)
+	}
+	if !bytes.Equal(fromDirty, ref) {
+		t.Fatal("CompressAppend over a dirty recycled buffer produced different bytes")
+	}
+	sched.PutBytes(fromDirty)
+
+	// Append semantics: an existing prefix survives, the stream follows it.
+	prefix := []byte("prefix!")
+	withPrefix, err := c.CompressAppend(append([]byte(nil), prefix...), data, p)
+	if err != nil {
+		t.Fatalf("CompressAppend(prefix): %v", err)
+	}
+	if !bytes.Equal(withPrefix[:len(prefix)], prefix) || !bytes.Equal(withPrefix[len(prefix):], ref) {
+		t.Fatal("CompressAppend did not append after the existing prefix")
+	}
+
+	// The stream must not alias the input: mutating data afterwards must
+	// not change the emitted bytes.
+	streamCopy := append([]byte(nil), fromNil...)
+	saved := append([]float32(nil), data...)
+	for i := range data {
+		data[i] = -999
+	}
+	if !bytes.Equal(fromNil, streamCopy) {
+		t.Fatal("compressed stream aliases the input data")
+	}
+	copy(data, saved)
+
+	// DecodedLen must match the decode without touching the payload.
+	n, err := c.DecodedLen(ref)
+	if err != nil {
+		t.Fatalf("DecodedLen: %v", err)
+	}
+	refOut, err := c.Decompress(ref)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if n != len(refOut) {
+		t.Fatalf("DecodedLen %d != decoded length %d", n, len(refOut))
+	}
+
+	// DecompressInto over a dirty NaN-poisoned recycled buffer must be
+	// bit-identical to the fresh decode (i.e. every element overwritten).
+	dirtyF := dirtyFloats(n + 8)
+	intoDirty, err := c.DecompressInto(dirtyF, ref)
+	if err != nil {
+		t.Fatalf("DecompressInto(dirty): %v", err)
+	}
+	if !bitsEqual(intoDirty, refOut) {
+		t.Fatal("DecompressInto over a dirty recycled buffer produced different values")
+	}
+
+	// Reusing the same buffer for a second decode must stay identical.
+	again, err := c.DecompressInto(intoDirty[:0], ref)
+	if err != nil {
+		t.Fatalf("DecompressInto(reuse): %v", err)
+	}
+	if !bitsEqual(again, refOut) {
+		t.Fatal("second DecompressInto into the same buffer diverged")
+	}
+	sched.PutFloats(again)
+
+	// An undersized dst must force a correct reallocation.
+	if n > 1 {
+		small := make([]float32, 0, 1)
+		grown, err := c.DecompressInto(small, ref)
+		if err != nil {
+			t.Fatalf("DecompressInto(undersized): %v", err)
+		}
+		if !bitsEqual(grown, refOut) {
+			t.Fatal("DecompressInto with undersized dst diverged")
+		}
+	}
+
+	// The decode must not retain the stream: mutating the stream after the
+	// decode returned must not perturb the output.
+	outCopy := append([]float32(nil), refOut...)
+	for i := range ref {
+		ref[i] ^= 0xFF
+	}
+	if !bitsEqual(refOut, outCopy) {
+		t.Fatal("decoded output aliases the compressed stream")
+	}
+}
+
+func TestZeroCopyReuseAndAliasSafety(t *testing.T) {
+	for _, name := range compressors.Names() {
+		t.Run(name, func(t *testing.T) {
+			c, err := compressors.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range reuseParams(name) {
+				rng := rand.New(rand.NewPCG(31, 7))
+				for shape, data := range reuseInputs(rng, p) {
+					t.Run(p.Mode.String()+"/"+shape, func(t *testing.T) {
+						testCodecReuse(t, c, p, data)
+					})
+				}
+			}
+		})
+	}
+}
+
+// legacyOneShot is a deliberately minimal pre-zero-copy codec: the adapter
+// must give it the same reuse and alias-safety guarantees the native
+// codecs provide.
+type legacyOneShot struct{}
+
+func (legacyOneShot) Name() string { return "legacy-oneshot" }
+
+func (legacyOneShot) Compress(data []float32, p ebcl.Params) ([]byte, error) {
+	out := make([]byte, 0, 4+4*len(data))
+	out = append(out, byte(len(data)), byte(len(data)>>8), byte(len(data)>>16), byte(len(data)>>24))
+	for _, f := range data {
+		bits := math.Float32bits(f)
+		out = append(out, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	}
+	return out, nil
+}
+
+func (legacyOneShot) Decompress(stream []byte) ([]float32, error) {
+	if len(stream) < 4 {
+		return nil, ebcl.ErrCorrupt
+	}
+	n := int(stream[0]) | int(stream[1])<<8 | int(stream[2])<<16 | int(stream[3])<<24
+	if len(stream) < 4+4*n {
+		return nil, ebcl.ErrCorrupt
+	}
+	out := make([]float32, n)
+	for i := range out {
+		b := stream[4+4*i:]
+		out[i] = math.Float32frombits(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	}
+	return out, nil
+}
+
+func TestAdapterReuseAndAliasSafety(t *testing.T) {
+	c := ebcl.Adapt(legacyOneShot{})
+	if _, native := interface{}(legacyOneShot{}).(ebcl.Compressor); native {
+		t.Fatal("test codec must not implement the full contract natively")
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	testCodecReuse(t, c, ebcl.Abs(1e-3), eblctest.WeightLike(rng, 300))
+
+	// Adapt must pass native zero-copy codecs through untouched.
+	native, err := compressors.Get("sz2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ebcl.Adapt(native) != native {
+		t.Fatal("Adapt re-wrapped a codec that already implements the contract")
+	}
+}

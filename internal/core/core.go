@@ -102,6 +102,13 @@ type Stats struct {
 	// and the lossless partition (it exceeds wall clock when the encode
 	// fans out).
 	EncodeWork time.Duration
+
+	// BytesRecycled is the total buffer capacity (codec scratch, blobs,
+	// payload staging) this encode returned to the sched pools instead of
+	// dropping to the garbage collector — the observable for the zero-copy
+	// codec contract. The counter is process-wide, so concurrent calls
+	// attribute shared traffic approximately.
+	BytesRecycled uint64
 }
 
 // EncodeOverlapRatio reports the fraction of encode work hidden behind the
@@ -190,6 +197,15 @@ type DecompressStats struct {
 	// concurrent decodes attribute shared traffic approximately.
 	PoolHits   uint64
 	PoolMisses uint64
+	// FloatPoolHits and FloatPoolMisses are the same deltas for the float32
+	// pool the reconstructed tensors decode into — the decode-output side
+	// of the zero-copy contract.
+	FloatPoolHits   uint64
+	FloatPoolMisses uint64
+	// BytesRecycled is the total buffer capacity this decode returned to
+	// the sched pools (blob scratch, entropy-stage tables, lossless-stage
+	// payloads) instead of dropping to the garbage collector.
+	BytesRecycled uint64
 }
 
 // OverlapRatio reports the fraction of decode work hidden behind the rest
@@ -284,6 +300,23 @@ func DecompressAllWith(ctx context.Context, pool *sched.Pool, streams [][]byte) 
 		}
 	}
 	return sds, stats, nil
+}
+
+// Release returns sd's tensor buffers to the shared float pool and must
+// only be called when nothing references the state dict anymore — the
+// fold-and-discard discipline of an aggregation server: Decompress lands
+// reconstructed tensors in pool-backed buffers, RunRound folds them into
+// the accumulator, and Release recycles the storage for the next client's
+// decode. Releasing a dict the caller still reads (or one whose tensors
+// are shared with live state) corrupts data; when in doubt, let the
+// garbage collector have it instead.
+func Release(sd *tensor.StateDict) {
+	if sd == nil {
+		return
+	}
+	for _, e := range sd.Entries() {
+		sched.PutFloats(e.Tensor.Data)
+	}
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -65,6 +65,7 @@ const (
 func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDict, opts Options, emit func(SectionKind, []byte) error) (*Stats, error) {
 	o := opts.withDefaults()
 	start := time.Now()
+	recycled0 := sched.RecycledBytes()
 	stats := &Stats{RawBytes: sd.SizeBytes()}
 
 	entries := sd.Entries()
@@ -146,7 +147,13 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 				return
 			}
 			t0 := time.Now()
-			blobs[i], errs[i] = o.Lossy.Compress(lossyMetas[i].data, o.LossyParams)
+			// The codec appends into a pooled buffer sized for a ~4x ratio;
+			// the emit loop recycles it once the section is written.
+			buf := sched.GetBytes(len(lossyMetas[i].data) + 64)
+			blobs[i], errs[i] = o.Lossy.CompressAppend(buf, lossyMetas[i].data, o.LossyParams)
+			if errs[i] != nil {
+				sched.PutBytes(buf)
+			}
 			encodeWork.Add(int64(time.Since(t0)))
 		})
 	}
@@ -160,7 +167,7 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			return
 		}
 		t0 := time.Now()
-		restRaw := rest.Marshal()
+		restRaw := rest.MarshalAppend(sched.GetBytes(rest.MarshalSize()))
 		restBlob, restErr = o.Lossless.Compress(restRaw)
 		sched.PutBytes(restRaw)
 		encodeWork.Add(int64(time.Since(t0)))
@@ -184,6 +191,7 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	finish := func() (*Stats, error) {
 		stats.EncodeWork = time.Duration(encodeWork.Load())
 		stats.CompressTime = time.Since(start)
+		stats.BytesRecycled = sched.RecycledBytes() - recycled0
 		return stats, nil
 	}
 

@@ -275,6 +275,8 @@ func DecompressFromWith(ctx context.Context, pool *sched.Pool, r io.Reader) (*te
 func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (*tensor.StateDict, *DecompressStats, error) {
 	start := time.Now()
 	poolHits0, poolMisses0 := sched.BytePoolCounters()
+	floatHits0, floatMisses0 := sched.FloatPoolCounters()
+	recycled0 := sched.RecycledBytes()
 
 	// failRead prefers the context's error over the read failure it caused:
 	// a cancelled socket read otherwise surfaces as a corrupt-looking short
@@ -349,12 +351,26 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	}
 	entries := make([]lossyEntry, nLossy)
 	var decodeWork atomic.Int64
+	var rest *tensor.StateDict
+	var restErr error
 	g := pool.Group()
 	// fail funnels every abort path through one place so cancellation wins
 	// over the secondary errors it induces (a cancelled read surfaces as a
-	// corrupt-looking short stream) and in-flight workers always drain.
+	// corrupt-looking short stream), in-flight workers always drain, and
+	// already-decoded tensor buffers — lossy and metadata partitions both
+	// — go back to the pool.
 	fail := func(err error) (*tensor.StateDict, *DecompressStats, error) {
 		g.Wait()
+		for i := range entries {
+			if entries[i].data != nil {
+				sched.PutFloats(entries[i].data)
+				entries[i].data = nil
+			}
+		}
+		if rest != nil {
+			Release(rest)
+			rest = nil
+		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, cerr
 		}
@@ -398,14 +414,21 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 				return
 			}
 			t0 := time.Now()
-			data, derr := lossy.Decompress(blob)
+			// The reconstruction lands straight in a pool-backed buffer
+			// sized from the tensor's declared shape — the into-style half
+			// of the codec contract. The buffer stays with the output dict;
+			// a fold-and-discard server recycles it via core.Release.
+			dst := sched.GetFloats(e.elems)
+			data, derr := lossy.DecompressInto(dst, blob)
 			decodeWork.Add(int64(time.Since(t0)))
 			release()
 			if derr != nil {
+				sched.PutFloats(dst)
 				e.err = fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, e.name, derr)
 				return
 			}
 			if len(data) != e.elems {
+				sched.PutFloats(data)
 				e.err = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
 				return
 			}
@@ -416,8 +439,6 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	if err != nil {
 		return fail(err)
 	}
-	var rest *tensor.StateDict
-	var restErr error
 	g.Go(func() {
 		if cerr := ctx.Err(); cerr != nil {
 			restRelease()
@@ -441,14 +462,14 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	})
 	g.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if restErr != nil {
-		return nil, nil, restErr
+		return fail(restErr)
 	}
 	for i := range entries {
 		if entries[i].err != nil {
-			return nil, nil, entries[i].err
+			return fail(entries[i].err)
 		}
 	}
 
@@ -460,32 +481,36 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	for _, f := range flags {
 		if f == pathLossy {
 			if li >= len(entries) {
-				return nil, nil, ErrCorrupt
+				return fail(ErrCorrupt)
 			}
 			e := entries[li]
 			li++
 			if out.Get(e.name) != nil {
-				return nil, nil, fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.name)
+				return fail(fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.name))
 			}
 			out.Add(e.name, e.kind, tensor.FromData(e.data, e.shape...))
 		} else {
 			if ri >= len(restEntries) {
-				return nil, nil, ErrCorrupt
+				return fail(ErrCorrupt)
 			}
 			e := restEntries[ri]
 			ri++
 			if out.Get(e.Name) != nil {
-				return nil, nil, fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.Name)
+				return fail(fmt.Errorf("%w: duplicate tensor %q", ErrCorrupt, e.Name))
 			}
 			out.Add(e.Name, e.Kind, e.Tensor)
 		}
 	}
 	poolHits1, poolMisses1 := sched.BytePoolCounters()
+	floatHits1, floatMisses1 := sched.FloatPoolCounters()
 	return out, &DecompressStats{
-		DecompressTime: time.Since(start),
-		ReadWait:       src.wait(),
-		DecodeWork:     time.Duration(decodeWork.Load()),
-		PoolHits:       poolHits1 - poolHits0,
-		PoolMisses:     poolMisses1 - poolMisses0,
+		DecompressTime:  time.Since(start),
+		ReadWait:        src.wait(),
+		DecodeWork:      time.Duration(decodeWork.Load()),
+		PoolHits:        poolHits1 - poolHits0,
+		PoolMisses:      poolMisses1 - poolMisses0,
+		FloatPoolHits:   floatHits1 - floatHits0,
+		FloatPoolMisses: floatMisses1 - floatMisses0,
+		BytesRecycled:   sched.RecycledBytes() - recycled0,
 	}, nil
 }

@@ -65,18 +65,104 @@ var ErrCorrupt = errors.New("ebcl: corrupt compressed stream")
 // Compressor is an error-bounded lossy compressor over 1-D float32 arrays
 // (FL model updates are flattened before compression, paper Algorithm 1).
 //
-// Implementations must be safe for concurrent use: the core pipeline
-// decodes many tensors on one Compressor value in parallel. Returned
-// buffers must be freshly allocated (not aliases of retained state or of
-// the input) — ownership transfers to the caller, which may recycle them
-// through the sched buffer pools.
+// The contract is append/into-style so a steady-state pipeline never
+// allocates at the lossy boundary: CompressAppend extends a caller-supplied
+// (typically pool-recycled) byte buffer, and DecompressInto reconstructs
+// into a caller-supplied float32 buffer sized via DecodedLen. The appended
+// or reconstructed bytes must be identical regardless of dst's prior
+// contents or capacity, and the result must alias neither the input nor any
+// retained state — the caller may recycle both sides through the sched
+// buffer pools. Implementations must be safe for concurrent use: the core
+// pipeline encodes and decodes many tensors on one Compressor value in
+// parallel.
+//
+// Compress and Decompress remain as one-shot conveniences; implementations
+// provide them as thin wrappers over the append/into pair (nil dst).
+// Pre-zero-copy codecs that only have the one-shot pair implement
+// BasicCompressor instead and are promoted with Adapt.
 type Compressor interface {
 	// Name returns the compressor's registry name ("sz2", "sz3", ...).
 	Name() string
-	// Compress encodes data under the given error-control parameters.
+	// CompressAppend encodes data under the given error-control parameters,
+	// appending the stream to dst (which may be nil) and returning the
+	// extended slice, like append.
+	CompressAppend(dst []byte, data []float32, p Params) ([]byte, error)
+	// DecompressInto reconstructs the (lossy) array into dst's storage: the
+	// result has length DecodedLen(stream), reuses dst's backing array when
+	// its capacity suffices (dst's length and prior contents are ignored),
+	// and is freshly allocated otherwise. On error the returned slice is nil
+	// and dst is unretained.
+	DecompressInto(dst []float32, stream []byte) ([]float32, error)
+	// DecodedLen reports the element count Decompress would produce — the
+	// header probe callers use to size dst from a pool before decoding.
+	DecodedLen(stream []byte) (int, error)
+	// Compress encodes data into a freshly allocated buffer
+	// (CompressAppend with a nil dst).
 	Compress(data []float32, p Params) ([]byte, error)
-	// Decompress reconstructs the (lossy) array from a Compress output.
+	// Decompress reconstructs into a freshly allocated buffer
+	// (DecompressInto with a nil dst).
 	Decompress(stream []byte) ([]float32, error)
+}
+
+// BasicCompressor is the pre-zero-copy compressor shape: one-shot calls
+// returning freshly allocated buffers. Third-party codecs registered via
+// compressors.Register may still implement only this; Adapt promotes one to
+// the full Compressor contract.
+type BasicCompressor interface {
+	Name() string
+	Compress(data []float32, p Params) ([]byte, error)
+	Decompress(stream []byte) ([]float32, error)
+}
+
+// Adapt promotes a BasicCompressor to the full zero-copy contract. A codec
+// that already implements Compressor is returned unchanged; otherwise the
+// adapter routes CompressAppend/DecompressInto through the one-shot calls
+// plus a copy, and DecodedLen through a full decode — correct for any
+// legacy codec, at legacy cost.
+func Adapt(c BasicCompressor) Compressor {
+	if full, ok := c.(Compressor); ok {
+		return full
+	}
+	return adapted{c}
+}
+
+type adapted struct{ BasicCompressor }
+
+func (a adapted) CompressAppend(dst []byte, data []float32, p Params) ([]byte, error) {
+	blob, err := a.BasicCompressor.Compress(data, p)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, blob...), nil
+}
+
+func (a adapted) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
+	out, err := a.BasicCompressor.Decompress(stream)
+	if err != nil {
+		return nil, err
+	}
+	dst = GrowFloats(dst, len(out))
+	copy(dst, out)
+	return dst, nil
+}
+
+func (a adapted) DecodedLen(stream []byte) (int, error) {
+	out, err := a.BasicCompressor.Decompress(stream)
+	if err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}
+
+// GrowFloats returns a slice of length n backed by dst's array when
+// cap(dst) >= n and freshly allocated otherwise — the dst-sizing step of
+// every DecompressInto implementation. Contents are unspecified; callers
+// overwrite every element.
+func GrowFloats(dst []float32, n int) []float32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float32, n)
 }
 
 // ValueRange returns max − min of data (0 for empty input).

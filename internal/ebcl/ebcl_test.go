@@ -165,19 +165,20 @@ func TestLosslessStage(t *testing.T) {
 	if len(out) >= len(payload) {
 		t.Fatalf("stage did not compress: %d >= %d", len(out), len(payload))
 	}
-	back, err := ReadLosslessStage(out)
+	back, release, err := ReadLosslessStage(out)
 	if err != nil || len(back) != len(payload) {
 		t.Fatalf("round trip: len=%d err=%v", len(back), err)
 	}
+	release()
 	// Disabled stage stores raw.
 	raw := AppendLosslessStage(nil, payload, true)
 	if len(raw) != len(payload)+1 || raw[0] != 0 {
 		t.Fatal("disabled stage should store raw")
 	}
-	if _, err := ReadLosslessStage(nil); err == nil {
+	if _, _, err := ReadLosslessStage(nil); err == nil {
 		t.Fatal("empty stage should fail")
 	}
-	if _, err := ReadLosslessStage([]byte{7}); err == nil {
+	if _, _, err := ReadLosslessStage([]byte{7}); err == nil {
 		t.Fatal("bad mode byte should fail")
 	}
 }

@@ -23,18 +23,19 @@ type Quantizer struct {
 }
 
 // NewQuantizer returns a quantizer for the given absolute bound. ebAbs must
-// be positive.
-func NewQuantizer(ebAbs float64) *Quantizer {
+// be positive. The quantizer is a value type so hot decode loops carry it
+// without a heap allocation.
+func NewQuantizer(ebAbs float64) Quantizer {
 	if ebAbs <= 0 {
 		panic("ebcl: quantizer requires positive bound")
 	}
-	return &Quantizer{ebAbs: ebAbs, binWidth: 2 * ebAbs}
+	return Quantizer{ebAbs: ebAbs, binWidth: 2 * ebAbs}
 }
 
 // Quantize returns the code for original given the prediction pred, and the
 // value the decoder will reconstruct. ok is false when the residual exceeds
 // the code range — the caller must emit EscapeCode and a literal.
-func (q *Quantizer) Quantize(original, pred float64) (code int, recon float32, ok bool) {
+func (q Quantizer) Quantize(original, pred float64) (code int, recon float32, ok bool) {
 	resid := original - pred
 	scaled := resid / q.binWidth
 	// The comparison form also rejects NaN and ±Inf residuals (from
@@ -55,7 +56,7 @@ func (q *Quantizer) Quantize(original, pred float64) (code int, recon float32, o
 }
 
 // Dequantize reconstructs a value from a non-escape code and a prediction.
-func (q *Quantizer) Dequantize(code int, pred float64) float32 {
+func (q Quantizer) Dequantize(code int, pred float64) float32 {
 	return float32(pred + float64(code-QuantRadius)*q.binWidth)
 }
 

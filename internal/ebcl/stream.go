@@ -3,6 +3,7 @@ package ebcl
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/lossless"
 	"repro/internal/sched"
@@ -70,6 +71,36 @@ func ReadSection(src []byte, pos int) ([]byte, int, error) {
 	return src[pos : pos+int(l)], pos + int(l), nil
 }
 
+// FloatView reads a float32 literal section in place — the decode-side
+// replacement for materializing a []float32 copy of the section bytes.
+type FloatView struct{ b []byte }
+
+// NewFloatView validates that b is a whole number of float32s.
+func NewFloatView(b []byte) (FloatView, error) {
+	if len(b)%4 != 0 {
+		return FloatView{}, ErrCorrupt
+	}
+	return FloatView{b}, nil
+}
+
+// Len returns the element count.
+func (v FloatView) Len() int { return len(v.b) / 4 }
+
+// At returns element i (little-endian IEEE-754).
+func (v FloatView) At(i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(v.b[4*i:]))
+}
+
+// AppendFloatSection appends a uvarint-length-prefixed float32 literal
+// section without materializing an intermediate byte copy.
+func AppendFloatSection(dst []byte, vals []float32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(4*len(vals)))
+	for _, f := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+	}
+	return dst
+}
+
 var zcodec = lossless.NewZstdLike()
 
 // AppendLosslessStage appends payload to out, passing it through the
@@ -92,17 +123,26 @@ func AppendLosslessStage(out, payload []byte, disable bool) []byte {
 	return append(out, payload...)
 }
 
-// ReadLosslessStage reverses AppendLosslessStage.
-func ReadLosslessStage(rest []byte) ([]byte, error) {
+func releaseNothing() {}
+
+// ReadLosslessStage reverses AppendLosslessStage. The returned payload is
+// either a view into rest or a pooled decompression buffer; release must be
+// called exactly once when the payload bytes are dead so pooled buffers go
+// back to the sched pool instead of the garbage collector.
+func ReadLosslessStage(rest []byte) (payload []byte, release func(), err error) {
 	if len(rest) < 1 {
-		return nil, ErrCorrupt
+		return nil, nil, ErrCorrupt
 	}
 	switch rest[0] {
 	case 0:
-		return rest[1:], nil
+		return rest[1:], releaseNothing, nil
 	case 1:
-		return zcodec.Decompress(rest[1:])
+		z, err := zcodec.Decompress(rest[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return z, func() { sched.PutBytes(z) }, nil
 	default:
-		return nil, ErrCorrupt
+		return nil, nil, ErrCorrupt
 	}
 }

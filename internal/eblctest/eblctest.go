@@ -7,6 +7,7 @@
 package eblctest
 
 import (
+	"bytes"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -263,6 +264,51 @@ func RunConformance(t *testing.T, c ebcl.Compressor, opt Options) {
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 			t.Error(err)
+		}
+	})
+
+	t.Run("ZeroCopyContract", func(t *testing.T) {
+		// The append/into methods must agree with the one-shot pair:
+		// CompressAppend(nil) == Compress, DecodedLen == decoded length,
+		// and DecompressInto into a dirty correctly-sized buffer must be
+		// bit-identical to Decompress. (The full alias-safety matrix lives
+		// in internal/conformance; this keeps every per-codec suite honest.)
+		rng := rand.New(rand.NewPCG(13, 37))
+		data := WeightLike(rng, 4099)
+		ref, err := c.Compress(data, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		appended, err := c.CompressAppend(nil, data, ebcl.Rel(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(appended) != len(ref) || !bytes.Equal(appended, ref) {
+			t.Fatal("CompressAppend(nil) differs from Compress")
+		}
+		n, err := c.DecodedLen(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Decompress(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("DecodedLen %d != decoded length %d", n, len(want))
+		}
+		dirty := make([]float32, n)
+		for i := range dirty {
+			dirty[i] = float32(math.NaN())
+		}
+		got, err := c.DecompressInto(dirty[:0], ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("DecompressInto over dirty buffer diverged at %d: %v != %v", i, got[i], want[i])
+			}
 		}
 	})
 

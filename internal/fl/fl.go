@@ -26,13 +26,18 @@ import (
 // the server — the seam where FedSZ plugs in. Every method honours ctx
 // cancellation (best-effort for the in-memory transports, end-to-end for
 // the socket-backed one).
+//
+// Decoded state dicts are owned by the caller: their tensor buffers may be
+// pool-backed, and a caller that folds a decoded dict and discards it may
+// recycle the storage via core.Release — the steady-state zero-allocation
+// path RunRound takes.
 type Transport interface {
 	// Name identifies the transport in experiment output.
 	Name() string
 	// Encode serializes the update; returns the payload and byte counts
 	// (raw, wire) plus the compression time spent.
 	Encode(ctx context.Context, sd *tensor.StateDict) (payload []byte, rawBytes int, err error)
-	// Decode reverses Encode.
+	// Decode reverses Encode; the result transfers to the caller.
 	Decode(ctx context.Context, payload []byte) (*tensor.StateDict, error)
 }
 
@@ -225,7 +230,9 @@ func (t *NetTransport) netRound(ctx context.Context, n int, upload func(ctx cont
 			}
 			if results[u.Client] != nil {
 				// A retry after a lost ack re-delivers an already-folded
-				// update; keep the first result (uploads are at-least-once).
+				// update; keep the first result (uploads are at-least-once)
+				// and recycle the duplicate's decode buffers.
+				core.Release(u.State)
 				return nil
 			}
 			results[u.Client] = u.State
@@ -577,6 +584,9 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 				if err := acc.AddScaled(sd, weight); err != nil {
 					return nil, fmt.Errorf("fl: aggregate client %d: %w", lo+i, err)
 				}
+				// Folded and dead: hand the decode buffers back to the pool
+				// so the next chunk's decodes reuse them.
+				core.Release(sd)
 				states[lo+i] = nil
 			}
 		}
@@ -594,6 +604,7 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 				if err := acc.AddScaled(sd, weight); err != nil {
 					return nil, fmt.Errorf("fl: aggregate client %d: %w", lo+i, err)
 				}
+				core.Release(sd)
 				payloads[lo+i] = nil
 			}
 		}
@@ -608,6 +619,7 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 			if err := acc.AddScaled(sd, weight); err != nil {
 				return nil, fmt.Errorf("fl: aggregate client %d: %w", i, err)
 			}
+			core.Release(sd)
 			payloads[i] = nil
 		}
 	}

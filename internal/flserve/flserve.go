@@ -126,6 +126,10 @@ type Stats struct {
 	ReadWait   time.Duration
 	DecodeWork time.Duration
 	Wall       time.Duration
+	// BytesRecycled sums each accepted update's decode-side pool recycling
+	// (see core.DecompressStats.BytesRecycled) — the observable that the
+	// ingest path is running its steady-state zero-alloc loop.
+	BytesRecycled uint64
 }
 
 // OverlapRatio reports the fraction of decode work hidden behind reading
@@ -340,6 +344,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.stats.ReadWait += u.Stats.ReadWait
 			s.stats.DecodeWork += u.Stats.DecodeWork
 			s.stats.Wall += time.Since(start)
+			s.stats.BytesRecycled += u.Stats.BytesRecycled
 		}
 		s.mu.Unlock()
 		writeAck(conn, err)
@@ -435,7 +440,10 @@ func (a *Aggregator) Add(u Update) error {
 			a.seen = make(map[uint32]bool)
 		}
 		if a.seen[u.Client] {
-			return nil // retried duplicate: ack success, fold nothing
+			// Retried duplicate: ack success, fold nothing, recycle the
+			// duplicate decode's buffers.
+			core.Release(u.State)
+			return nil
 		}
 		a.seen[u.Client] = true
 	}
@@ -448,6 +456,10 @@ func (a *Aggregator) Add(u Update) error {
 		return fmt.Errorf("flserve: aggregate client %d: %w", u.Client, err)
 	}
 	a.n++
+	// The update is folded and dead; its pool-backed tensor buffers feed
+	// the next in-flight decode — the server's steady-state zero-alloc
+	// loop.
+	core.Release(u.State)
 	return nil
 }
 

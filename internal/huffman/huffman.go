@@ -21,7 +21,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/sched"
@@ -81,6 +81,36 @@ type Codec struct {
 	// secondary tables for codes longer than tableBits.
 	tableBits uint
 	table     []uint32
+
+	// subBits is build-time scratch (per-prefix secondary widths) retained
+	// so pooled codec shells rebuild without reallocating it.
+	subBits []uint8
+}
+
+// codecPool recycles Codec shells — and, crucially, the enc/sorted/table
+// array storage hanging off them — across the bulk encode/decode calls.
+// The entropy stage builds one transient codec per blob; in steady state a
+// rebuild into a pooled shell allocates nothing.
+var codecPool = sync.Pool{New: func() any { return new(Codec) }}
+
+// putCodec returns a bulk-path codec shell to the reuse pool. The caller
+// must hold no references to the codec or its tables afterwards.
+func putCodec(c *Codec) {
+	// An adversarial length table can inflate the secondary tables; don't
+	// let one hostile blob pin megabytes in the pool.
+	if cap(c.table) > 1<<20 {
+		return
+	}
+	codecPool.Put(c)
+}
+
+// grow returns a slice of length n backed by s's array when the capacity
+// suffices and freshly allocated otherwise; contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 type hNode struct {
@@ -116,18 +146,26 @@ func (h *hHeap) Pop() interface{} {
 // iteratively halving large frequencies (the standard length-limiting
 // heuristic), which preserves decodability at a tiny ratio cost.
 func NewCodec(frequencies []uint64) (*Codec, error) {
+	c := new(Codec)
+	if err := c.initFromFreqs(frequencies); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// initFromFreqs (re)builds c for the given frequency table, reusing c's
+// table storage — the pooled-shell path behind the bulk encoder.
+func (c *Codec) initFromFreqs(frequencies []uint64) error {
 	if len(frequencies) == 0 {
-		return nil, errors.New("huffman: empty alphabet")
+		return errors.New("huffman: empty alphabet")
 	}
 	freqs := sched.GetUint64s(len(frequencies))
 	freqs = append(freqs, frequencies...)
 	defer sched.PutUint64s(freqs)
 
+	lengths := grow(c.lengths, len(freqs))
 	for attempt := 0; ; attempt++ {
-		lengths, err := buildLengths(freqs)
-		if err != nil {
-			return nil, err
-		}
+		buildLengths(freqs, lengths)
 		maxLen := uint8(0)
 		for _, l := range lengths {
 			if l > maxLen {
@@ -135,10 +173,10 @@ func NewCodec(frequencies []uint64) (*Codec, error) {
 			}
 		}
 		if maxLen <= MaxCodeLen {
-			return newCodecFromLengths(lengths)
+			return c.init(lengths)
 		}
 		if attempt > 64 {
-			return nil, errors.New("huffman: failed to limit code lengths")
+			return errors.New("huffman: failed to limit code lengths")
 		}
 		// Flatten the distribution and retry.
 		for i, f := range freqs {
@@ -149,22 +187,50 @@ func NewCodec(frequencies []uint64) (*Codec, error) {
 	}
 }
 
-// buildLengths runs the classic two-queue Huffman construction and returns
-// per-symbol code lengths.
-func buildLengths(freqs []uint64) ([]uint8, error) {
-	lengths := make([]uint8, len(freqs))
-	h := make(hHeap, 0, len(freqs))
+// buildScratch recycles the Huffman tree-construction storage: the classic
+// algorithm needs 2·used−1 nodes, previously one heap allocation each —
+// the dominant allocation count of the whole compress path.
+type buildScratch struct {
+	nodes []hNode
+	heap  hHeap
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// buildLengths runs the classic two-queue Huffman construction, writing
+// per-symbol code lengths into lengths (len(lengths) == len(freqs)).
+func buildLengths(freqs []uint64, lengths []uint8) {
+	clear(lengths)
+	used := 0
+	last := int32(-1)
 	for i, f := range freqs {
 		if f > 0 {
-			h = append(h, &hNode{weight: f, symbol: int32(i)})
+			used++
+			last = int32(i)
 		}
 	}
-	switch len(h) {
+	switch used {
 	case 0:
-		return lengths, nil // empty code: encoder never emits symbols
+		return // empty code: encoder never emits symbols
 	case 1:
-		lengths[h[0].symbol] = 1 // single symbol still needs one bit
-		return lengths, nil
+		lengths[last] = 1 // single symbol still needs one bit
+		return
+	}
+	sc := buildPool.Get().(*buildScratch)
+	// The arena is sized up front so appends never reallocate: heap entries
+	// are pointers into it and must stay stable.
+	if cap(sc.nodes) < 2*used {
+		sc.nodes = make([]hNode, 0, 2*used)
+	}
+	nodes := sc.nodes[:0]
+	h := sc.heap[:0]
+	for i, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, hNode{weight: f, symbol: int32(i)})
+		}
+	}
+	for i := range nodes {
+		h = append(h, &nodes[i])
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
@@ -174,7 +240,8 @@ func buildLengths(freqs []uint64) ([]uint8, error) {
 		if b.depth > d {
 			d = b.depth
 		}
-		heap.Push(&h, &hNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, depth: d + 1})
+		nodes = append(nodes, hNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, depth: d + 1})
+		heap.Push(&h, &nodes[len(nodes)-1])
 	}
 	root := h[0]
 	var walk func(n *hNode, depth uint8)
@@ -187,23 +254,31 @@ func buildLengths(freqs []uint64) ([]uint8, error) {
 		walk(n.right, depth+1)
 	}
 	walk(root, 0)
-	return lengths, nil
+	sc.nodes, sc.heap = nodes[:0], h[:0]
+	buildPool.Put(sc)
 }
 
 // NewCodecFromLengths rebuilds a codec from a serialized length table (the
 // decoder-side constructor).
 func NewCodecFromLengths(lengths []uint8) (*Codec, error) {
-	return newCodecFromLengths(append([]uint8(nil), lengths...))
+	c := new(Codec)
+	if err := c.init(append([]uint8(nil), lengths...)); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-func newCodecFromLengths(lengths []uint8) (*Codec, error) {
-	c := &Codec{numSymbols: len(lengths), lengths: lengths}
+// init (re)builds c from a length table, taking ownership of lengths and
+// reusing c's table storage when its capacity suffices — pooled codec
+// shells rebuild allocation-free in steady state.
+func (c *Codec) init(lengths []uint8) error {
+	c.numSymbols, c.lengths, c.maxLen = len(lengths), lengths, 0
 	// Count codes per length; validate Kraft sum.
 	var counts [MaxCodeLen + 2]uint32
 	used := 0
 	for _, l := range lengths {
 		if l > MaxCodeLen {
-			return nil, ErrBadLengths
+			return ErrBadLengths
 		}
 		if l > 0 {
 			counts[l]++
@@ -214,14 +289,18 @@ func newCodecFromLengths(lengths []uint8) (*Codec, error) {
 		}
 	}
 	if used == 0 {
-		return c, nil
+		c.enc = c.enc[:0]
+		c.sorted = c.sorted[:0]
+		c.table = c.table[:0]
+		c.tableBits = 0
+		return nil
 	}
 	var kraft uint64
 	for l := uint8(1); l <= c.maxLen; l++ {
 		kraft += uint64(counts[l]) << (uint(c.maxLen) - uint(l))
 	}
 	if used > 1 && kraft != 1<<uint(c.maxLen) {
-		return nil, ErrBadLengths
+		return ErrBadLengths
 	}
 	// Canonical first codes per length.
 	code := uint32(0)
@@ -235,35 +314,25 @@ func newCodecFromLengths(lengths []uint8) (*Codec, error) {
 		offset += int32(counts[l])
 		code += counts[l]
 	}
-	// Assign codes symbol-ascending within each length (canonical order).
-	c.enc = make([]uint32, len(lengths))
-	c.sorted = make([]int32, used)
-	type sl struct {
-		sym int32
-		l   uint8
-	}
-	order := make([]sl, 0, used)
+	// Assign codes symbol-ascending within each length (canonical order):
+	// one ascending pass over the symbols lands each in its length class in
+	// exactly sorted-(length, symbol) order, no sort needed.
+	c.enc = grow(c.enc, len(lengths))
+	clear(c.enc)
+	c.sorted = grow(c.sorted, used)
+	var pos [MaxCodeLen + 2]int32
+	copy(pos[:], c.index[:])
 	for s, l := range lengths {
-		if l > 0 {
-			order = append(order, sl{int32(s), l})
+		if l == 0 {
+			continue
 		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].l != order[j].l {
-			return order[i].l < order[j].l
-		}
-		return order[i].sym < order[j].sym
-	})
-	pos := make([]int32, MaxCodeLen+2)
-	copy(pos, c.index[:])
-	for _, e := range order {
-		c.enc[e.sym] = next[e.l]<<5 | uint32(e.l)
-		next[e.l]++
-		c.sorted[pos[e.l]] = e.sym
-		pos[e.l]++
+		c.enc[s] = next[l]<<5 | uint32(l)
+		next[l]++
+		c.sorted[pos[l]] = int32(s)
+		pos[l]++
 	}
 	c.buildDecodeTable()
-	return c, nil
+	return nil
 }
 
 // code returns the canonical code bits of symbol s (which must have one).
@@ -286,7 +355,9 @@ func (c *Codec) buildDecodeTable() {
 	var subBits []uint8
 	total := prim
 	if uint(c.maxLen) > tb {
-		subBits = make([]uint8, prim)
+		c.subBits = grow(c.subBits, int(prim))
+		subBits = c.subBits
+		clear(subBits)
 		for _, s := range c.sorted {
 			l := uint(c.lengths[s])
 			if l <= tb {
@@ -303,7 +374,8 @@ func (c *Codec) buildDecodeTable() {
 			}
 		}
 	}
-	c.table = make([]uint32, total)
+	c.table = grow(c.table, int(total))
+	clear(c.table)
 
 	// Link entries first, so long-code filling can locate its table.
 	nextBase := prim
@@ -436,9 +508,11 @@ func encodeSeq[E symbol](symbols []E, alphabet int) ([]byte, error) {
 		}
 		freqs[s]++
 	}
-	c, err := NewCodec(freqs)
+	c := codecPool.Get().(*Codec)
+	err := c.initFromFreqs(freqs)
 	sched.PutUint64s(freqs)
 	if err != nil {
+		putCodec(c)
 		return nil, err
 	}
 	w := bitio.NewWriterBuffer(sched.GetBytes(len(symbols)/2 + 64))
@@ -452,6 +526,7 @@ func encodeSeq[E symbol](symbols []E, alphabet int) ([]byte, error) {
 		}
 		w.WriteBits(uint64(e>>5), uint(e&entryLenMask))
 	}
+	putCodec(c)
 	return w.Bytes(), nil
 }
 
@@ -473,24 +548,29 @@ func decodeSeq[E symbol](r *bitio.Reader, c *Codec, out []E) error {
 }
 
 // decodeHeader reads the length table and symbol count shared by the bulk
-// decoders, returning the rebuilt codec.
+// decoders, rebuilding the codec into a pooled shell. The caller must
+// return the codec via putCodec once decoding finishes.
 func decodeHeader(r *bitio.Reader, alphabet int) (*Codec, int, error) {
-	lengths, err := readLengthTable(r, alphabet)
+	c := codecPool.Get().(*Codec)
+	lengths, err := readLengthTable(r, alphabet, c.lengths)
 	if err != nil {
+		putCodec(c)
 		return nil, 0, err
 	}
-	c, err := newCodecFromLengths(lengths)
-	if err != nil {
+	if err := c.init(lengths); err != nil {
+		putCodec(c)
 		return nil, 0, err
 	}
 	n64, err := r.ReadBits(32)
 	if err != nil {
+		putCodec(c)
 		return nil, 0, err
 	}
 	n := int(n64)
 	// Every symbol costs at least one bit, so a count exceeding the
 	// remaining stream is corruption — reject before allocating.
 	if n > r.BitsRemaining() {
+		putCodec(c)
 		return nil, 0, ErrCorrupt
 	}
 	return c, n, nil
@@ -521,7 +601,9 @@ func DecodeAll(data []byte, alphabet int) ([]int, error) {
 		return nil, err
 	}
 	out := make([]int, n)
-	if err := decodeSeq(r, c, out); err != nil {
+	err = decodeSeq(r, c, out)
+	putCodec(c)
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -540,7 +622,9 @@ func DecodeAllU16(data []byte, alphabet int) ([]uint16, error) {
 		return nil, err
 	}
 	out := sched.GetUint16s(n)[:n]
-	if err := decodeSeq(r, c, out); err != nil {
+	err = decodeSeq(r, c, out)
+	putCodec(c)
+	if err != nil {
 		sched.PutUint16s(out)
 		return nil, err
 	}
@@ -565,7 +649,9 @@ func writeLengthTable(w *bitio.Writer, lengths []uint8) {
 	}
 }
 
-func readLengthTable(r *bitio.Reader, maxAlphabet int) ([]uint8, error) {
+// readLengthTable parses a serialized length table, writing it into buf's
+// storage when the capacity suffices (the pooled-codec rebuild path).
+func readLengthTable(r *bitio.Reader, maxAlphabet int, buf []uint8) ([]uint8, error) {
 	n64, err := r.ReadBits(24)
 	if err != nil {
 		return nil, err
@@ -574,7 +660,8 @@ func readLengthTable(r *bitio.Reader, maxAlphabet int) ([]uint8, error) {
 	if n == 0 || n > maxAlphabet {
 		return nil, ErrBadLengths
 	}
-	lengths := make([]uint8, n)
+	lengths := grow(buf, n)
+	clear(lengths)
 	i := 0
 	for i < n {
 		l, err := r.ReadBits(5)

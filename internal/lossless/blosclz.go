@@ -37,7 +37,7 @@ func (c *BloscLZ) Name() string { return "blosclz" }
 
 // Compress implements Codec.
 func (c *BloscLZ) Compress(src []byte) ([]byte, error) {
-	out := make([]byte, 0, len(src)/2+16)
+	out := sched.GetBytes(len(src)/2 + 16)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
 	shuffled := byte(0)
 	work := src
@@ -62,6 +62,8 @@ func (c *BloscLZ) Compress(src []byte) ([]byte, error) {
 		out = appendUvarint(out, uint64(s.matchLen-lzMinMatch+1))
 		out = binary.LittleEndian.AppendUint16(out, uint16(s.offset-1))
 	}
+	putSeqs(seqs)
+	sched.PutBytes(lits)
 	return out, nil
 }
 
@@ -73,7 +75,7 @@ func (c *BloscLZ) Decompress(src []byte) ([]byte, error) {
 	rawLen := int(binary.LittleEndian.Uint32(src))
 	shuffled := src[4]
 	pos := 5
-	out := make([]byte, 0, initialCap(rawLen, len(src)))
+	out := sched.GetBytes(initialCap(rawLen, len(src)))
 	for len(out) < rawLen {
 		litLen64, p, err := readUvarint(src, pos)
 		if err != nil {

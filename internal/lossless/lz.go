@@ -3,6 +3,8 @@ package lossless
 import (
 	"encoding/binary"
 	"sync"
+
+	"repro/internal/sched"
 )
 
 // Shared LZ77 machinery: a hash-chain matcher producing (literal run, match)
@@ -44,10 +46,39 @@ var headPool = sync.Pool{New: func() any {
 	return &h
 }}
 
+// seqPool recycles the sequence slices both the parse and the entropy-coded
+// decoders materialize; get/put mirror the sched slice pools.
+var seqPool = sync.Pool{New: func() any { return new([]sequence) }}
+
+func getSeqs(n int) []sequence {
+	sp := seqPool.Get().(*[]sequence)
+	s := *sp
+	*sp = nil
+	seqPool.Put(sp)
+	if cap(s) < n {
+		return make([]sequence, 0, max(n, 16))
+	}
+	return s[:0]
+}
+
+func putSeqs(s []sequence) {
+	if cap(s) == 0 || cap(s) > 1<<20 {
+		return
+	}
+	s = s[:0]
+	sp := seqPool.Get().(*[]sequence)
+	*sp = s
+	seqPool.Put(sp)
+}
+
 // lzParse greedily (or lazily) factors src into sequences. literals holds
-// the concatenated literal bytes referenced by the sequences, in order.
+// the concatenated literal bytes referenced by the sequences, in order
+// (copied, never aliasing src). Both returned slices come from pools; the
+// caller releases them via putSeqs and sched.PutBytes once consumed.
 func lzParse(src []byte, cfg matcherConfig) (seqs []sequence, literals []byte) {
 	n := len(src)
+	seqs = getSeqs(n / 32)
+	literals = sched.GetBytes(n)
 	if n < lzMinMatch {
 		if n > 0 {
 			seqs = append(seqs, sequence{litLen: n})
@@ -61,7 +92,8 @@ func lzParse(src []byte, cfg matcherConfig) (seqs []sequence, literals []byte) {
 	for i := range head {
 		head[i] = -1
 	}
-	chain := make([]int32, n)
+	chain := sched.GetInt32s(n)[:n]
+	defer sched.PutInt32s(chain)
 
 	insert := func(i int) {
 		if i+lzMinMatch > n {
@@ -174,9 +206,11 @@ func initialCap(rawLen, srcLen int) int {
 }
 
 // lzReconstruct rebuilds the original bytes from sequences and literals.
-// rawLen is the expected output size (for allocation and validation).
+// rawLen is the expected output size (for allocation and validation). The
+// output comes from the sched byte pool; per the Codec contract the caller
+// owns it and may recycle it.
 func lzReconstruct(seqs []sequence, literals []byte, rawLen int) ([]byte, error) {
-	out := make([]byte, 0, initialCap(rawLen, len(literals)+len(seqs)))
+	out := sched.GetBytes(initialCap(rawLen, len(literals)+len(seqs)))
 	lit := 0
 	for _, s := range seqs {
 		if s.litLen < 0 || lit+s.litLen > len(literals) {

@@ -59,8 +59,10 @@ func (c *XZLike) Compress(src []byte) ([]byte, error) {
 		ctl = appendUvarint(ctl, uint64(s.matchLen-lzMinMatch+1))
 		ctl = binary.LittleEndian.AppendUint16(ctl, uint16(s.offset-1))
 	}
+	putSeqs(seqs)
 
 	litBlob, litMode, err := encodeLiterals(lits)
+	sched.PutBytes(lits)
 	if err != nil {
 		sched.PutBytes(ctl)
 		return nil, err
@@ -113,31 +115,38 @@ func (c *XZLike) Decompress(src []byte) ([]byte, error) {
 	}
 	ctl, err := decodeLiterals(src[pos:pos+int(ctlLen64)], ctlMode)
 	if err != nil {
+		releaseLiterals(lits, litMode)
+		return nil, err
+	}
+	fail := func(err error) ([]byte, error) {
+		releaseLiterals(lits, litMode)
+		releaseLiterals(ctl, ctlMode)
 		return nil, err
 	}
 
 	cpos := 0
 	nSeqs64, cpos, err := readUvarint(ctl, cpos)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	seqs := make([]sequence, 0, nSeqs64)
+	seqs := getSeqs(min(clampInt(nSeqs64), (len(ctl)-cpos)/2+1))
+	defer func() { putSeqs(seqs) }()
 	for i := uint64(0); i < nSeqs64; i++ {
 		var s sequence
 		var v uint64
 		v, cpos, err = readUvarint(ctl, cpos)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.litLen = int(v)
 		v, cpos, err = readUvarint(ctl, cpos)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if v > 0 {
 			s.matchLen = int(v) + lzMinMatch - 1
 			if cpos+2 > len(ctl) {
-				return nil, ErrCorrupt
+				return fail(ErrCorrupt)
 			}
 			s.offset = int(binary.LittleEndian.Uint16(ctl[cpos:])) + 1
 			cpos += 2
@@ -145,6 +154,8 @@ func (c *XZLike) Decompress(src []byte) ([]byte, error) {
 		seqs = append(seqs, s)
 	}
 	out, err := lzReconstruct(seqs, lits, rawLen)
+	releaseLiterals(lits, litMode)
+	releaseLiterals(ctl, ctlMode)
 	if err != nil {
 		return nil, err
 	}

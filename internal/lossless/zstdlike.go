@@ -34,7 +34,9 @@ func (c *ZstdLike) Name() string { return "zstdlike" }
 func (c *ZstdLike) Compress(src []byte) ([]byte, error) {
 	seqs, lits := lzParse(src, c.cfg)
 	litBlob, litMode, err := encodeLiterals(lits)
+	sched.PutBytes(lits)
 	if err != nil {
+		putSeqs(seqs)
 		return nil, err
 	}
 	out := sched.GetBytes(len(litBlob) + len(seqs)*4 + 16)
@@ -53,6 +55,7 @@ func (c *ZstdLike) Compress(src []byte) ([]byte, error) {
 		out = appendUvarint(out, uint64(s.matchLen-lzMinMatch+1))
 		out = binary.LittleEndian.AppendUint16(out, uint16(s.offset-1))
 	}
+	putSeqs(seqs)
 	return out, nil
 }
 
@@ -79,24 +82,32 @@ func (c *ZstdLike) Decompress(src []byte) ([]byte, error) {
 	pos += blobLen
 	nSeqs64, pos, err := readUvarint(src, pos)
 	if err != nil {
+		releaseLiterals(lits, litMode)
 		return nil, err
 	}
-	seqs := make([]sequence, 0, nSeqs64)
+	// The capacity is a hint bounded by what the stream could really carry
+	// (each sequence costs >= 2 bytes), so a hostile count cannot force a
+	// giant allocation; append grows if the data is there.
+	seqs := getSeqs(min(clampInt(nSeqs64), (len(src)-pos)/2+1))
+	defer func() { putSeqs(seqs) }()
 	for i := uint64(0); i < nSeqs64; i++ {
 		var s sequence
 		var v uint64
 		v, pos, err = readUvarint(src, pos)
 		if err != nil {
+			releaseLiterals(lits, litMode)
 			return nil, err
 		}
 		s.litLen = int(v)
 		v, pos, err = readUvarint(src, pos)
 		if err != nil {
+			releaseLiterals(lits, litMode)
 			return nil, err
 		}
 		if v > 0 {
 			s.matchLen = int(v) + lzMinMatch - 1
 			if pos+2 > len(src) {
+				releaseLiterals(lits, litMode)
 				return nil, ErrCorrupt
 			}
 			s.offset = int(binary.LittleEndian.Uint16(src[pos:])) + 1
@@ -104,7 +115,9 @@ func (c *ZstdLike) Decompress(src []byte) ([]byte, error) {
 		}
 		seqs = append(seqs, s)
 	}
-	return lzReconstruct(seqs, lits, rawLen)
+	out, err := lzReconstruct(seqs, lits, rawLen)
+	releaseLiterals(lits, litMode)
+	return out, err
 }
 
 // encodeLiterals Huffman-codes lits when that wins; otherwise stores raw.
@@ -129,6 +142,9 @@ func encodeLiterals(lits []byte) (blob []byte, mode byte, err error) {
 	return append(sched.GetBytes(len(lits)), lits...), 0, nil
 }
 
+// decodeLiterals reverses encodeLiterals. Mode 0 returns a view into blob;
+// mode 1 returns a pooled buffer — releaseLiterals recycles whichever the
+// mode produced once the bytes are dead.
 func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
 	switch mode {
 	case 0:
@@ -138,7 +154,7 @@ func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]byte, len(syms))
+		out := sched.GetBytes(len(syms))[:len(syms)]
 		for i, s := range syms {
 			out[i] = byte(s)
 		}
@@ -147,4 +163,21 @@ func decodeLiterals(blob []byte, mode byte) ([]byte, error) {
 	default:
 		return nil, ErrCorrupt
 	}
+}
+
+// releaseLiterals recycles a decodeLiterals result (no-op for mode-0 views).
+func releaseLiterals(lits []byte, mode byte) {
+	if mode == 1 {
+		sched.PutBytes(lits)
+	}
+}
+
+// clampInt converts an untrusted uint64 to a non-negative int without
+// overflow surprises (huge values saturate).
+func clampInt(v uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if v > uint64(maxInt) {
+		return maxInt
+	}
+	return int(v)
 }

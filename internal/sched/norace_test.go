@@ -1,0 +1,5 @@
+//go:build !race
+
+package sched
+
+const raceEnabled = false

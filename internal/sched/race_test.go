@@ -1,0 +1,8 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose sync.Pool deliberately drops a random ~25% of Puts — retention
+// assertions are meaningless there.
+const raceEnabled = true

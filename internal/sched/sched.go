@@ -184,46 +184,86 @@ func (g *Group) Wait() { g.wg.Wait() }
 // partition, well above the per-tensor sizes the pipeline sees).
 const maxPooledBytes = 64 << 20
 
+// recycledBytes counts the capacity (in bytes) of every buffer returned to
+// any sched pool — the observable behind Stats.BytesRecycled: how much
+// storage the zero-copy pipeline handed back for reuse instead of dropping
+// to the garbage collector.
+var recycledBytes atomic.Uint64
+
+// RecycledBytes returns the process-wide total of buffer bytes recycled
+// through the sched pools. Callers snapshot before/after a region and diff.
+func RecycledBytes() uint64 { return recycledBytes.Load() }
+
 // slicePool is the shared implementation behind the typed Get/Put pairs: a
-// sync.Pool of slice headers handing out zero-length slices with enough
-// capacity. elemSize bounds retention in bytes, not elements, so every
-// element type shares the same 64 MiB ceiling.
+// size-classed set of sync.Pools of slice headers handing out zero-length
+// slices with enough capacity. Like the byte pool, requests round up to
+// power-of-two element classes so a small tensor cannot "win" and pin a
+// multi-megabyte reconstruction buffer. elemSize bounds retention in bytes,
+// not elements, so every element type shares the same 64 MiB ceiling.
 type slicePool[T any] struct {
-	pool     sync.Pool
+	classes [maxClassBits + 1]sync.Pool
+	// headers recycles *empty* slice headers: get pops a full header from
+	// a class, takes its buffer, and parks the emptied header here for the
+	// next put. Puts must never Get() from a class pool for a header — a
+	// popped header still carries a live buffer, and overwriting it drops
+	// that buffer (consecutive puts would then retain only one of k).
+	headers  sync.Pool
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 	elemSize int
 }
 
 func newSlicePool[T any](elemSize int) *slicePool[T] {
-	return &slicePool[T]{
-		pool:     sync.Pool{New: func() any { return new([]T) }},
-		elemSize: elemSize,
-	}
+	return &slicePool[T]{elemSize: elemSize}
 }
 
 func (p *slicePool[T]) get(n int) []T {
-	sp := p.pool.Get().(*[]T)
-	s := *sp
-	*sp = nil
-	p.pool.Put(sp)
-	if cap(s) < n {
+	if n*p.elemSize > maxPooledBytes {
+		p.misses.Add(1)
 		return make([]T, 0, n)
 	}
-	return s[:0]
+	c := classFor(n)
+	if sp, ok := p.classes[c].Get().(*[]T); ok {
+		s := *sp
+		*sp = nil
+		p.headers.Put(sp)
+		if cap(s) >= n {
+			p.hits.Add(1)
+			return s[:0]
+		}
+	}
+	p.misses.Add(1)
+	return make([]T, 0, 1<<c)
 }
 
 func (p *slicePool[T]) put(s []T) {
-	if cap(s) == 0 || cap(s)*p.elemSize > maxPooledBytes {
+	// Buffers file under the class their capacity fully covers (floor of
+	// log2 elements), so a get from that class always has enough room.
+	// Classes below the get-side floor are never probed, so tiny buffers
+	// are cheaper to drop than to file.
+	if cap(s) < 1<<minClassBits || cap(s)*p.elemSize > maxPooledBytes {
 		return
 	}
+	c := bits.Len(uint(cap(s))) - 1
+	recycledBytes.Add(uint64(cap(s) * p.elemSize))
 	s = s[:0]
-	sp := p.pool.Get().(*[]T)
+	sp, _ := p.headers.Get().(*[]T)
+	if sp == nil {
+		sp = new([]T)
+	}
 	*sp = s
-	p.pool.Put(sp)
+	p.classes[c].Put(sp)
+}
+
+func (p *slicePool[T]) counters() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
 }
 
 var (
 	u16Pool = newSlicePool[uint16](2)
 	u64Pool = newSlicePool[uint64](8)
+	i32Pool = newSlicePool[int32](4)
+	f64Pool = newSlicePool[float64](8)
 )
 
 // Byte buffers are the pipeline's highest-churn allocation (every tensor
@@ -247,6 +287,9 @@ const (
 
 type classedBytePool struct {
 	classes [maxClassBits + 1]sync.Pool
+	// headers parks emptied slice headers for reuse by put — see
+	// slicePool.headers for why put must not pop class pools for headers.
+	headers sync.Pool
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 }
@@ -272,7 +315,7 @@ func (p *classedBytePool) get(n int) []byte {
 	if sp, ok := p.classes[c].Get().(*[]byte); ok {
 		s := *sp
 		*sp = nil
-		p.classes[c].Put(sp)
+		p.headers.Put(sp)
 		// Floor-capacity filing guarantees cap(s) >= 1<<c >= n; the check is
 		// defensive against a future filing change.
 		if cap(s) >= n {
@@ -292,9 +335,10 @@ func (p *classedBytePool) put(s []byte) {
 		return
 	}
 	c := bits.Len(uint(cap(s))) - 1
+	recycledBytes.Add(uint64(cap(s)))
 	s = s[:0]
-	sp, ok := p.classes[c].Get().(*[]byte)
-	if !ok {
+	sp, _ := p.headers.Get().(*[]byte)
+	if sp == nil {
 		sp = new([]byte)
 	}
 	*sp = s
@@ -370,9 +414,32 @@ func ReadFullPooled(r io.Reader, n int) ([]byte, error) {
 var floatPool = newSlicePool[float32](4)
 
 // GetFloats returns a zero-length float32 slice with capacity at least n,
-// reusing a pooled buffer when one is large enough.
+// reusing a pooled buffer of n's power-of-two size class when one is
+// available — the buffer type decoded tensors land in on the zero-copy
+// decompress path.
 func GetFloats(n int) []float32 { return floatPool.get(n) }
 
 // PutFloats recycles f for a future GetFloats. The caller must not retain
 // any reference to f afterwards.
 func PutFloats(f []float32) { floatPool.put(f) }
+
+// FloatPoolCounters reports the process-wide GetFloats hit/miss totals —
+// the decode-output mirror of BytePoolCounters. Callers snapshot
+// before/after a region and diff.
+func FloatPoolCounters() (hits, misses uint64) { return floatPool.counters() }
+
+// GetFloat64s returns a zero-length float64 slice with capacity at least n
+// (interpolation-predictor reconstruction scratch).
+func GetFloat64s(n int) []float64 { return f64Pool.get(n) }
+
+// PutFloat64s recycles f for a future GetFloat64s. The caller must not
+// retain any reference to f afterwards.
+func PutFloat64s(f []float64) { f64Pool.put(f) }
+
+// GetInt32s returns a zero-length int32 slice with capacity at least n
+// (LZ hash-chain scratch).
+func GetInt32s(n int) []int32 { return i32Pool.get(n) }
+
+// PutInt32s recycles s for a future GetInt32s. The caller must not retain
+// any reference to s afterwards.
+func PutInt32s(s []int32) { i32Pool.put(s) }

@@ -302,3 +302,31 @@ func TestPutBytesForeignCapacityFilesByFloor(t *testing.T) {
 	}
 	PutBytes(got)
 }
+
+// TestConsecutivePutsAllRetained locks the pool's header discipline: a
+// fold-and-release loop (core.Release) puts a whole model's same-class
+// buffers back-to-back, and every one of them must survive for the next
+// round's gets — put must never pop a class pool for a slice header, since
+// the popped header still carries a live buffer that would be dropped.
+func TestConsecutivePutsAllRetained(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops random Puts; retention is not observable")
+	}
+	const k = 8
+	const n = 100000 // distinctive class so other tests' buffers don't serve the gets
+	bufs := make([][]float32, k)
+	for i := range bufs {
+		bufs[i] = GetFloats(n)
+	}
+	h0, _ := FloatPoolCounters()
+	for _, b := range bufs {
+		PutFloats(b)
+	}
+	for i := 0; i < k; i++ {
+		GetFloats(n)
+	}
+	h1, _ := FloatPoolCounters()
+	if hits := h1 - h0; hits != k {
+		t.Fatalf("only %d of %d consecutively-released buffers survived the pool", hits, k)
+	}
+}

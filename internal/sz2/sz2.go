@@ -26,7 +26,6 @@ import (
 	"repro/internal/ebcl"
 	"repro/internal/huffman"
 	"repro/internal/sched"
-	"repro/internal/tensor"
 )
 
 const (
@@ -55,8 +54,28 @@ func NewCompressor() *Compressor { return &Compressor{} }
 // Name implements ebcl.Compressor.
 func (c *Compressor) Name() string { return "sz2" }
 
-// Compress implements ebcl.Compressor.
+// Compress implements ebcl.Compressor (CompressAppend with a nil dst).
 func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	return c.CompressAppend(nil, data, p)
+}
+
+// Decompress implements ebcl.Compressor (DecompressInto with a nil dst).
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	return c.DecompressInto(nil, stream)
+}
+
+// DecodedLen implements ebcl.Compressor: the element count from the stream
+// header, without decoding any payload.
+func (c *Compressor) DecodedLen(stream []byte) (int, error) {
+	n, _, _, err := ebcl.ParseHeader(stream, magic)
+	return n, err
+}
+
+// CompressAppend implements ebcl.Compressor, appending the encoded stream
+// to dst. All scratch (quantization codes, block predictor kinds,
+// regression coefficients, escape literals, the pre-lossless payload) comes
+// from the sched pools.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byte, error) {
 	if p.Mode == ebcl.ModeFixedPrecision {
 		return nil, fmt.Errorf("sz2: fixed-precision mode unsupported")
 	}
@@ -65,17 +84,17 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		return nil, err
 	}
 	if len(data) == 0 {
-		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+		return ebcl.AppendHeader(dst, magic, 0, ebcl.LayoutEmpty), nil
 	}
 	if ebAbs == 0 {
-		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutConstant)
 		return binary.LittleEndian.AppendUint32(out, math.Float32bits(data[0])), nil
 	}
 
 	q := ebcl.NewQuantizer(ebAbs)
 	nBlocks := (len(data) + blockSize - 1) / blockSize
-	predKinds := make([]byte, nBlocks)
-	coeffs := make([]float32, 0, 16)
+	predKinds := sched.GetBytes(nBlocks)[:nBlocks]
+	coeffs := sched.GetFloats(2 * nBlocks)
 	codes := sched.GetUint16s(len(data))[:len(data)]
 	literals := sched.GetFloats(len(data) / 64)
 
@@ -111,39 +130,46 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
 	sched.PutUint16s(codes)
 	if err != nil {
+		sched.PutBytes(predKinds)
+		sched.PutFloats(coeffs)
+		sched.PutFloats(literals)
 		return nil, err
 	}
 
-	payload := sched.GetBytes(len(codeBlob) + 4*len(literals) + len(predKinds) + 64)
+	payload := sched.GetBytes(len(codeBlob) + 4*len(literals) + 4*len(coeffs) + len(predKinds) + 64)
 	payload = ebcl.AppendSection(payload, predKinds)
-	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(coeffs))
+	payload = ebcl.AppendFloatSection(payload, coeffs)
 	payload = ebcl.AppendSection(payload, codeBlob)
-	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+	payload = ebcl.AppendFloatSection(payload, literals)
+	sched.PutBytes(predKinds)
+	sched.PutFloats(coeffs)
 	sched.PutBytes(codeBlob)
 	sched.PutFloats(literals)
 
-	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, len(data), ebcl.LayoutFull)
+	out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutFull)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
 	out = ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage)
 	sched.PutBytes(payload)
 	return out, nil
 }
 
-// Decompress implements ebcl.Compressor.
-func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+// DecompressInto implements ebcl.Compressor, reconstructing into dst's
+// storage. Coefficient and literal sections are read in place (no
+// materialized copies) and the lossless-stage scratch is recycled.
+func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
 	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
 	if err != nil {
 		return nil, err
 	}
 	switch layout {
 	case ebcl.LayoutEmpty:
-		return []float32{}, nil
+		return ebcl.GrowFloats(dst, 0), nil
 	case ebcl.LayoutConstant:
 		if len(rest) < 4 {
 			return nil, ebcl.ErrCorrupt
 		}
 		v := math.Float32frombits(binary.LittleEndian.Uint32(rest))
-		out := make([]float32, n)
+		out := ebcl.GrowFloats(dst, n)
 		for i := range out {
 			out[i] = v
 		}
@@ -159,10 +185,11 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if !(ebAbs > 0) || math.IsInf(ebAbs, 0) {
 		return nil, ebcl.ErrCorrupt
 	}
-	payload, err := ebcl.ReadLosslessStage(rest[8:])
+	payload, release, err := ebcl.ReadLosslessStage(rest[8:])
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	predKinds, pos, err := ebcl.ReadSection(payload, 0)
 	if err != nil {
 		return nil, err
@@ -179,11 +206,11 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	coeffs, err := tensor.BytesToFloat32s(coefBlob)
+	coeffs, err := ebcl.NewFloatView(coefBlob)
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
-	literals, err := tensor.BytesToFloat32s(litBlob)
+	literals, err := ebcl.NewFloatView(litBlob)
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
@@ -201,7 +228,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	}
 
 	q := ebcl.NewQuantizer(ebAbs)
-	out := make([]float32, n)
+	out := ebcl.GrowFloats(dst, n)
 	prevRecon := 0.0
 	coefIdx, litIdx := 0, 0
 	for b := 0; b < nBlocks; b++ {
@@ -211,10 +238,10 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 		var a, bb float32
 		switch kind {
 		case predRegression:
-			if coefIdx+2 > len(coeffs) {
+			if coefIdx+2 > coeffs.Len() {
 				return nil, ebcl.ErrCorrupt
 			}
-			a, bb = coeffs[coefIdx], coeffs[coefIdx+1]
+			a, bb = coeffs.At(coefIdx), coeffs.At(coefIdx+1)
 			coefIdx += 2
 		case predLorenzo:
 		default:
@@ -223,10 +250,10 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 		for i := lo; i < hi; i++ {
 			code := codes[i]
 			if code == ebcl.EscapeCode {
-				if litIdx >= len(literals) {
+				if litIdx >= literals.Len() {
 					return nil, ebcl.ErrCorrupt
 				}
-				out[i] = literals[litIdx]
+				out[i] = literals.At(litIdx)
 				litIdx++
 				prevRecon = float64(out[i])
 				continue
@@ -241,7 +268,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 			prevRecon = float64(out[i])
 		}
 	}
-	if litIdx != len(literals) {
+	if litIdx != literals.Len() {
 		return nil, ebcl.ErrCorrupt
 	}
 	return out, nil

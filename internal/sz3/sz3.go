@@ -20,7 +20,6 @@ import (
 	"repro/internal/ebcl"
 	"repro/internal/huffman"
 	"repro/internal/sched"
-	"repro/internal/tensor"
 )
 
 const (
@@ -45,8 +44,28 @@ func NewCompressor() *Compressor { return &Compressor{} }
 // Name implements ebcl.Compressor.
 func (c *Compressor) Name() string { return "sz3" }
 
-// Compress implements ebcl.Compressor.
+// Compress implements ebcl.Compressor (CompressAppend with a nil dst).
 func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	return c.CompressAppend(nil, data, p)
+}
+
+// Decompress implements ebcl.Compressor (DecompressInto with a nil dst).
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	return c.DecompressInto(nil, stream)
+}
+
+// DecodedLen implements ebcl.Compressor: the element count from the stream
+// header, without decoding any payload.
+func (c *Compressor) DecodedLen(stream []byte) (int, error) {
+	n, _, _, err := ebcl.ParseHeader(stream, magic)
+	return n, err
+}
+
+// CompressAppend implements ebcl.Compressor, appending the encoded stream
+// to dst. All scratch — the float64 reconstruction grid, quantization
+// codes, escape literals, and the pre-lossless payload — comes from the
+// sched pools.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byte, error) {
 	if p.Mode == ebcl.ModeFixedPrecision {
 		return nil, fmt.Errorf("sz3: fixed-precision mode unsupported")
 	}
@@ -55,19 +74,20 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		return nil, err
 	}
 	if len(data) == 0 {
-		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+		return ebcl.AppendHeader(dst, magic, 0, ebcl.LayoutEmpty), nil
 	}
 	if ebAbs == 0 {
-		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutConstant)
 		return binary.LittleEndian.AppendUint32(out, math.Float32bits(data[0])), nil
 	}
 
 	n := len(data)
 	q := ebcl.NewQuantizer(ebAbs)
-	recon := make([]float64, n)
+	recon := sched.GetFloat64s(n)[:n]
+	defer sched.PutFloat64s(recon)
 	codes := sched.GetUint16s(n)
-	var literals []float32
-	var levelKinds []byte
+	literals := sched.GetFloats(n / 64)
+	levelKinds := sched.GetBytes(64)
 
 	// Anchor: quantize data[0] against a zero prediction.
 	quantizePoint := func(i int, pred float64) {
@@ -98,36 +118,42 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
 	sched.PutUint16s(codes)
 	if err != nil {
+		sched.PutFloats(literals)
+		sched.PutBytes(levelKinds)
 		return nil, err
 	}
 	payload := sched.GetBytes(len(codeBlob) + 4*len(literals) + len(levelKinds) + 64)
 	payload = ebcl.AppendSection(payload, levelKinds)
 	payload = ebcl.AppendSection(payload, codeBlob)
-	payload = ebcl.AppendSection(payload, tensor.Float32sToBytes(literals))
+	payload = ebcl.AppendFloatSection(payload, literals)
 	sched.PutBytes(codeBlob)
+	sched.PutFloats(literals)
+	sched.PutBytes(levelKinds)
 
-	out := ebcl.AppendHeader(sched.GetBytes(17+len(payload)), magic, n, ebcl.LayoutFull)
+	out := ebcl.AppendHeader(dst, magic, n, ebcl.LayoutFull)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
 	out = ebcl.AppendLosslessStage(out, payload, c.DisableLosslessStage)
 	sched.PutBytes(payload)
 	return out, nil
 }
 
-// Decompress implements ebcl.Compressor.
-func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+// DecompressInto implements ebcl.Compressor, reconstructing into dst's
+// storage. The literal section is read in place, the float64 grid comes
+// from the sched pool, and the lossless-stage scratch is recycled.
+func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
 	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
 	if err != nil {
 		return nil, err
 	}
 	switch layout {
 	case ebcl.LayoutEmpty:
-		return []float32{}, nil
+		return ebcl.GrowFloats(dst, 0), nil
 	case ebcl.LayoutConstant:
 		if len(rest) < 4 {
 			return nil, ebcl.ErrCorrupt
 		}
 		v := math.Float32frombits(binary.LittleEndian.Uint32(rest))
-		out := make([]float32, n)
+		out := ebcl.GrowFloats(dst, n)
 		for i := range out {
 			out[i] = v
 		}
@@ -143,10 +169,11 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if !(ebAbs > 0) || math.IsInf(ebAbs, 0) {
 		return nil, ebcl.ErrCorrupt
 	}
-	payload, err := ebcl.ReadLosslessStage(rest[8:])
+	payload, release, err := ebcl.ReadLosslessStage(rest[8:])
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	levelKinds, pos, err := ebcl.ReadSection(payload, 0)
 	if err != nil {
 		return nil, err
@@ -159,7 +186,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	literals, err := tensor.BytesToFloat32s(litBlob)
+	literals, err := ebcl.NewFloatView(litBlob)
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
@@ -180,17 +207,18 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	}
 
 	q := ebcl.NewQuantizer(ebAbs)
-	recon := make([]float64, n)
-	out := make([]float32, n)
+	recon := sched.GetFloat64s(n)[:n]
+	defer sched.PutFloat64s(recon)
+	out := ebcl.GrowFloats(dst, n)
 	codeIdx, litIdx := 0, 0
 	reconstructPoint := func(i int, pred float64) error {
 		code := codes[codeIdx]
 		codeIdx++
 		if code == ebcl.EscapeCode {
-			if litIdx >= len(literals) {
+			if litIdx >= literals.Len() {
 				return ebcl.ErrCorrupt
 			}
-			out[i] = literals[litIdx]
+			out[i] = literals.At(litIdx)
 			litIdx++
 		} else {
 			out[i] = q.Dequantize(int(code), pred)
@@ -215,7 +243,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 			}
 		}
 	}
-	if litIdx != len(literals) {
+	if litIdx != literals.Len() {
 		return nil, ebcl.ErrCorrupt
 	}
 	return out, nil

@@ -46,8 +46,27 @@ func NewCompressor() *Compressor { return &Compressor{} }
 // Name implements ebcl.Compressor.
 func (c *Compressor) Name() string { return "szx" }
 
-// Compress implements ebcl.Compressor.
+// Compress implements ebcl.Compressor (CompressAppend with a nil dst).
 func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	return c.CompressAppend(nil, data, p)
+}
+
+// Decompress implements ebcl.Compressor (DecompressInto with a nil dst).
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	return c.DecompressInto(nil, stream)
+}
+
+// DecodedLen implements ebcl.Compressor: the element count from the stream
+// header, without decoding any payload.
+func (c *Compressor) DecodedLen(stream []byte) (int, error) {
+	n, _, _, err := ebcl.ParseHeader(stream, magic)
+	return n, err
+}
+
+// CompressAppend implements ebcl.Compressor, appending the encoded stream
+// to dst. The bit writer emits directly behind the header in dst's storage
+// — no intermediate bit buffer or copy.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byte, error) {
 	if p.Mode == ebcl.ModeFixedPrecision {
 		return nil, fmt.Errorf("szx: fixed-precision mode unsupported")
 	}
@@ -56,17 +75,19 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		return nil, err
 	}
 	if len(data) == 0 {
-		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+		return ebcl.AppendHeader(dst, magic, 0, ebcl.LayoutEmpty), nil
 	}
 	if ebAbs == 0 {
-		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutConstant)
 		return binary.LittleEndian.AppendUint32(out, math.Float32bits(data[0])), nil
 	}
 
 	// Mantissa bits are kept relative to the bound's binary exponent.
 	ebExp := ilogb(ebAbs)
 
-	w := bitio.NewWriter(len(data)/2 + 64)
+	out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutFull)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
+	w := bitio.NewWriterAppend(out)
 	nBlocks := (len(data) + blockSize - 1) / blockSize
 	for b := 0; b < nBlocks; b++ {
 		lo := b * blockSize
@@ -122,27 +143,25 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 			w.WriteBits(uint64(bits>>(32-keep)), keep)
 		}
 	}
-
-	out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutFull)
-	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ebAbs))
-	return append(out, w.Bytes()...), nil
+	return w.Bytes(), nil
 }
 
-// Decompress implements ebcl.Compressor.
-func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+// DecompressInto implements ebcl.Compressor, reconstructing into dst's
+// storage.
+func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
 	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
 	if err != nil {
 		return nil, err
 	}
 	switch layout {
 	case ebcl.LayoutEmpty:
-		return []float32{}, nil
+		return ebcl.GrowFloats(dst, 0), nil
 	case ebcl.LayoutConstant:
 		if len(rest) < 4 {
 			return nil, ebcl.ErrCorrupt
 		}
 		v := math.Float32frombits(binary.LittleEndian.Uint32(rest))
-		out := make([]float32, n)
+		out := ebcl.GrowFloats(dst, n)
 		for i := range out {
 			out[i] = v
 		}
@@ -163,7 +182,7 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if nBlocks > 0 && r.BitsRemaining() < (nBlocks-1)*33+15 {
 		return nil, ebcl.ErrCorrupt
 	}
-	out := make([]float32, n)
+	out := ebcl.GrowFloats(dst, n)
 	for b := 0; b < nBlocks; b++ {
 		lo := b * blockSize
 		hi := min(lo+blockSize, n)

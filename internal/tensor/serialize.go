@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/sched"
 )
 
 // Binary serialization for tensors and state dicts. This replaces the
@@ -63,11 +65,22 @@ func BytesToFloat32s(b []byte) ([]float32, error) {
 
 // Marshal serializes the state dict to the binary format above.
 func (sd *StateDict) Marshal() []byte {
+	return sd.MarshalAppend(make([]byte, 0, sd.MarshalSize()))
+}
+
+// MarshalSize returns the exact byte length Marshal produces.
+func (sd *StateDict) MarshalSize() int {
 	size := 8
 	for _, e := range sd.entries {
 		size += 2 + len(e.Name) + 2 + 4*len(e.Tensor.Shape) + 4*e.Tensor.NumElems()
 	}
-	out := make([]byte, 0, size)
+	return size
+}
+
+// MarshalAppend serializes the state dict, appending to dst — the
+// pool-friendly variant (size the buffer with MarshalSize).
+func (sd *StateDict) MarshalAppend(dst []byte) []byte {
+	out := dst
 	out = binary.LittleEndian.AppendUint32(out, stateDictMagic)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(sd.entries)))
 	for _, e := range sd.entries {
@@ -96,14 +109,23 @@ func UnmarshalStateDict(data []byte) (*StateDict, error) {
 	count := int(binary.LittleEndian.Uint32(data[4:]))
 	pos := 8
 	sd := NewStateDict()
+	// fail recycles the pooled buffers of entries decoded so far: a
+	// malformed stream from an untrusted client must not bleed warm pool
+	// capacity entry by entry.
+	fail := func(err error) (*StateDict, error) {
+		for _, e := range sd.entries {
+			sched.PutFloats(e.Tensor.Data)
+		}
+		return nil, err
+	}
 	for i := 0; i < count; i++ {
 		if pos+2 > len(data) {
-			return nil, ErrBadFormat
+			return fail(ErrBadFormat)
 		}
 		nameLen := int(binary.LittleEndian.Uint16(data[pos:]))
 		pos += 2
 		if pos+nameLen+2 > len(data) {
-			return nil, ErrBadFormat
+			return fail(ErrBadFormat)
 		}
 		name := string(data[pos : pos+nameLen])
 		pos += nameLen
@@ -111,7 +133,7 @@ func UnmarshalStateDict(data []byte) (*StateDict, error) {
 		rank := int(data[pos+1])
 		pos += 2
 		if pos+4*rank > len(data) {
-			return nil, ErrBadFormat
+			return fail(ErrBadFormat)
 		}
 		shape := make([]int, rank)
 		n := 1
@@ -121,15 +143,18 @@ func UnmarshalStateDict(data []byte) (*StateDict, error) {
 			n *= shape[d]
 		}
 		if n < 0 || pos+4*n > len(data) {
-			return nil, ErrBadFormat
+			return fail(ErrBadFormat)
 		}
-		vals, err := DecodeFloat32s(data[pos:], n)
-		if err != nil {
-			return nil, err
+		// Decode into a pool-backed buffer: metadata-partition tensors then
+		// follow the same recycle discipline as the lossy partition's.
+		vals := sched.GetFloats(n)[:n]
+		for j := range vals {
+			vals[j] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos+4*j:]))
 		}
 		pos += 4 * n
 		if sd.Get(name) != nil {
-			return nil, fmt.Errorf("%w: duplicate entry %q", ErrBadFormat, name)
+			sched.PutFloats(vals)
+			return fail(fmt.Errorf("%w: duplicate entry %q", ErrBadFormat, name))
 		}
 		sd.Add(name, kind, FromData(vals, shape...))
 	}

@@ -71,8 +71,27 @@ func PrecisionForBound(eb float64) int {
 	return p
 }
 
-// Compress implements ebcl.Compressor.
+// Compress implements ebcl.Compressor (CompressAppend with a nil dst).
 func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
+	return c.CompressAppend(nil, data, p)
+}
+
+// Decompress implements ebcl.Compressor (DecompressInto with a nil dst).
+func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+	return c.DecompressInto(nil, stream)
+}
+
+// DecodedLen implements ebcl.Compressor: the element count from the stream
+// header, without decoding any payload.
+func (c *Compressor) DecodedLen(stream []byte) (int, error) {
+	n, _, _, err := ebcl.ParseHeader(stream, magic)
+	return n, err
+}
+
+// CompressAppend implements ebcl.Compressor, appending the encoded stream
+// to dst. The plane coder emits directly behind the header in dst's
+// storage — no intermediate bit buffer or copy.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byte, error) {
 	var precision int
 	switch p.Mode {
 	case ebcl.ModeFixedPrecision:
@@ -89,10 +108,10 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		return nil, fmt.Errorf("zfp: unknown mode %v", p.Mode)
 	}
 	if len(data) == 0 {
-		return ebcl.AppendHeader(nil, magic, 0, ebcl.LayoutEmpty), nil
+		return ebcl.AppendHeader(dst, magic, 0, ebcl.LayoutEmpty), nil
 	}
 	if constant := allEqual(data); constant {
-		out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutConstant)
+		out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutConstant)
 		return append(out,
 			byte(math.Float32bits(data[0])),
 			byte(math.Float32bits(data[0])>>8),
@@ -100,9 +119,9 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 			byte(math.Float32bits(data[0])>>24)), nil
 	}
 
-	out := ebcl.AppendHeader(nil, magic, len(data), ebcl.LayoutFull)
+	out := ebcl.AppendHeader(dst, magic, len(data), ebcl.LayoutFull)
 	out = append(out, byte(precision))
-	w := bitio.NewWriter(len(data) * precision / 8)
+	w := bitio.NewWriterAppend(out)
 
 	var block [blockLen]float32
 	for lo := 0; lo < len(data); lo += blockLen {
@@ -113,25 +132,26 @@ func (c *Compressor) Compress(data []float32, p Params) ([]byte, error) {
 		}
 		encodeBlock(w, &block, precision)
 	}
-	return append(out, w.Bytes()...), nil
+	return w.Bytes(), nil
 }
 
-// Decompress implements ebcl.Compressor.
-func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
+// DecompressInto implements ebcl.Compressor, reconstructing into dst's
+// storage.
+func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, error) {
 	n, layout, rest, err := ebcl.ParseHeader(stream, magic)
 	if err != nil {
 		return nil, err
 	}
 	switch layout {
 	case ebcl.LayoutEmpty:
-		return []float32{}, nil
+		return ebcl.GrowFloats(dst, 0), nil
 	case ebcl.LayoutConstant:
 		if len(rest) < 4 {
 			return nil, ebcl.ErrCorrupt
 		}
 		bits := uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24
 		v := math.Float32frombits(bits)
-		out := make([]float32, n)
+		out := ebcl.GrowFloats(dst, n)
 		for i := range out {
 			out[i] = v
 		}
@@ -153,14 +173,13 @@ func (c *Compressor) Decompress(stream []byte) ([]float32, error) {
 	if n/blockLen > r.BitsRemaining() {
 		return nil, ebcl.ErrCorrupt
 	}
-	out := make([]float32, 0, n)
+	out := ebcl.GrowFloats(dst, n)
 	var block [blockLen]float32
-	for len(out) < n {
+	for lo := 0; lo < n; lo += blockLen {
 		if err := decodeBlock(r, &block, precision); err != nil {
 			return nil, err
 		}
-		take := min(blockLen, n-len(out))
-		out = append(out, block[:take]...)
+		copy(out[lo:min(lo+blockLen, n)], block[:])
 	}
 	return out, nil
 }
