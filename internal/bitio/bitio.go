@@ -191,6 +191,13 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
+// Reset re-points r at data, discarding any buffered state. It lets hot
+// loops keep Readers as stack values (e.g. one per sub-stream in the
+// multi-stream Huffman decoder) instead of allocating via NewReader.
+func (r *Reader) Reset(data []byte) {
+	*r = Reader{data: data}
+}
+
 // Refill tops the accumulator up to at least 56 valid bits, or to all
 // remaining stream bits when fewer are left. After Refill, any Peek/Consume
 // of up to min(56, BitsRemaining()) bits is safe without further checks.
@@ -235,6 +242,16 @@ func (r *Reader) Consume(n uint) {
 	if n > r.nBits {
 		panic("bitio: Consume exceeds buffered bits")
 	}
+	r.bits <<= n
+	r.nBits -= n
+}
+
+// ConsumeFast is Consume without the buffered-bits guard, for hot loops
+// that have already established n <= Buffered() as a loop invariant (the
+// wide Huffman decoder checks one max-length code per stream per round).
+// Violating the invariant corrupts the reader's position instead of
+// panicking.
+func (r *Reader) ConsumeFast(n uint) {
 	r.bits <<= n
 	r.nBits -= n
 }

@@ -63,21 +63,49 @@ type goldenCase struct {
 	lossy     string
 	params    ebcl.Params
 	nonFinite bool
+	// version is the stream-format version byte the checked-in .fsz must
+	// carry. frozen cases were written by an older encoder and are never
+	// regenerated — -update must not replace a v1 artifact with whatever
+	// the current encoder emits, or the backward-compatibility guarantee
+	// silently stops being tested.
+	version byte
+	frozen  bool
 }
 
 func goldenCases() []goldenCase {
 	var cases []goldenCase
 	for _, lossy := range compressors.Names() {
+		// Frozen v1 corpus: single-stream entropy stage, written before the
+		// multi-stream format existed. Decode-only from here on.
 		cases = append(cases, goldenCase{
-			name:   fmt.Sprintf("rel1e-2_%s", lossy),
-			lossy:  lossy,
-			params: ebcl.Rel(1e-2),
+			name:    fmt.Sprintf("rel1e-2_%s", lossy),
+			lossy:   lossy,
+			params:  ebcl.Rel(1e-2),
+			version: 1,
+			frozen:  true,
 		})
 		cases = append(cases, goldenCase{
 			name:      fmt.Sprintf("abs1e-3_nonfinite_%s", lossy),
 			lossy:     lossy,
 			params:    ebcl.Abs(1e-3),
 			nonFinite: true,
+			version:   1,
+			frozen:    true,
+		})
+		// v2 corpus: multi-stream entropy stage (the tensors here are large
+		// enough that the encoder picks the 4-stream layout).
+		cases = append(cases, goldenCase{
+			name:    fmt.Sprintf("v2_rel1e-2_%s", lossy),
+			lossy:   lossy,
+			params:  ebcl.Rel(1e-2),
+			version: 2,
+		})
+		cases = append(cases, goldenCase{
+			name:      fmt.Sprintf("v2_abs1e-3_nonfinite_%s", lossy),
+			lossy:     lossy,
+			params:    ebcl.Abs(1e-3),
+			nonFinite: true,
+			version:   2,
 		})
 	}
 	return cases
@@ -127,12 +155,15 @@ func regenerate(t *testing.T, gc goldenCase) {
 func TestGoldenStreams(t *testing.T) {
 	for _, gc := range goldenCases() {
 		t.Run(gc.name, func(t *testing.T) {
-			if *update {
+			if *update && !gc.frozen {
 				regenerate(t, gc)
 			}
 			stream, err := os.ReadFile(goldenPath(gc.name, "fsz"))
 			if err != nil {
 				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if len(stream) < 5 || stream[4] != gc.version {
+				t.Fatalf("golden stream carries format version %d, want %d", stream[4], gc.version)
 			}
 			wantSD, err := os.ReadFile(goldenPath(gc.name, "sd"))
 			if err != nil {

@@ -27,12 +27,29 @@ import (
 )
 
 const (
-	streamMagic   = 0x46535A31 // "FSZ1"
-	streamVersion = 1
+	streamMagic = 0x46535A31 // "FSZ1"
+
+	// streamVersionV1 streams carry single-stream Huffman entropy payloads
+	// and compact section length prefixes. The decoder accepts them forever;
+	// the encoder no longer produces them.
+	streamVersionV1 = 1
+	// streamVersion (v2) marks streams whose quantization-code blobs may use
+	// the multi-stream Huffman layout and whose tensor sections carry
+	// fixed-width (padded-uvarint) length prefixes. This is what the encoder
+	// emits.
+	streamVersion = 2
 
 	pathLossless = 0
 	pathLossy    = 1
 )
+
+// supportedStreamVersion reports whether the decoder understands version v.
+// Both v1 and v2 remain fully decodable: the entropy layer self-describes
+// its blob format and section length prefixes use uvarint semantics either
+// way, so one decode path serves both.
+func supportedStreamVersion(v byte) bool {
+	return v == streamVersionV1 || v == streamVersion
+}
 
 // ErrCorrupt is returned for malformed FedSZ bitstreams.
 var ErrCorrupt = errors.New("core: corrupt FedSZ stream")

@@ -14,10 +14,10 @@ package core
 // S'; overlapping them shrinks the left-hand side).
 //
 // CompressSections is the one encoder behind every compress entry point:
-// Compress appends the emitted sections to one in-memory buffer (bit-
-// identical to the historical layout by construction), CompressTo writes
-// them to an io.Writer, and wire.Writer.WriteSection maps them 1:1 onto
-// transport frames so a sender never materializes the whole stream.
+// Compress appends the emitted sections to one in-memory buffer (the two
+// paths are bit-identical by construction), CompressTo writes them to an
+// io.Writer, and wire.Writer.WriteSection maps them 1:1 onto transport
+// frames so a sender never materializes the whole stream.
 
 import (
 	"context"
@@ -133,6 +133,7 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	// start and is emitted last.
 	n := len(lossyMetas)
 	blobs := make([][]byte, n)
+	blobLens := make([]int, n)
 	errs := make([]error, n)
 	done := make([]chan struct{}, n)
 	var encodeWork atomic.Int64
@@ -147,12 +148,30 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 				return
 			}
 			t0 := time.Now()
-			// The codec appends into a pooled buffer sized for a ~4x ratio;
-			// the emit loop recycles it once the section is written.
-			buf := sched.GetBytes(len(lossyMetas[i].data) + 64)
-			blobs[i], errs[i] = o.Lossy.CompressAppend(buf, lossyMetas[i].data, o.LossyParams)
-			if errs[i] != nil {
+			// The worker builds the complete tensor section: metadata, a
+			// reserved fixed-width length prefix, then the codec's output
+			// appended directly behind it. Backfilling the prefix afterwards
+			// means the compressed blob is emitted exactly where
+			// CompressAppend wrote it — no blob→scratch memmove per section.
+			// The pooled buffer is sized for a ~4x ratio; the emit loop
+			// recycles it once the section is written.
+			m := lossyMetas[i]
+			buf := sched.GetBytes(len(m.data) + 64)
+			buf = appendString(buf[:0], m.name)
+			buf = append(buf, byte(m.kind), byte(len(m.shape)))
+			for _, d := range m.shape {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+			}
+			lenPos := len(buf)
+			buf = ebcl.ReserveSectionLen(buf)
+			section, err := o.Lossy.CompressAppend(buf, m.data, o.LossyParams)
+			if err != nil {
 				sched.PutBytes(buf)
+				errs[i] = err
+			} else {
+				blobLens[i] = len(section) - lenPos - ebcl.SectionLenBytes
+				ebcl.PatchSectionLen(section, lenPos, uint64(blobLens[i]))
+				blobs[i] = section
 			}
 			encodeWork.Add(int64(time.Since(t0)))
 		})
@@ -218,20 +237,13 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			}
 			return nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
 		}
-		m := lossyMetas[i]
-		scratch = appendString(scratch[:0], m.name)
-		scratch = append(scratch, byte(m.kind), byte(len(m.shape)))
-		for _, d := range m.shape {
-			scratch = binary.LittleEndian.AppendUint32(scratch, uint32(d))
-		}
-		scratch = ebcl.AppendSection(scratch, blobs[i])
-		stats.LossyCompressed += len(blobs[i])
-		sched.PutBytes(blobs[i])
-		blobs[i] = nil
-		if err := emitSection(SectionTensor, scratch); err != nil {
+		stats.LossyCompressed += blobLens[i]
+		if err := emitSection(SectionTensor, blobs[i]); err != nil {
 			abort()
 			return nil, err
 		}
+		sched.PutBytes(blobs[i])
+		blobs[i] = nil
 		if submitted < n {
 			submit(submitted)
 			submitted++

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand/v2"
@@ -272,4 +273,79 @@ func BenchmarkCompressTo(b *testing.B) {
 		overlap = stats.EncodeOverlapRatio()
 	}
 	b.ReportMetric(overlap, "overlap")
+}
+
+// recordingCompressor wraps an EBLC and records the address of the first
+// byte each CompressAppend call produced, so the no-copy test below can
+// verify the emitted section aliases the codec's own output bytes.
+type recordingCompressor struct {
+	ebcl.Compressor
+	blobPtrs []*byte
+}
+
+func (r *recordingCompressor) CompressAppend(dst []byte, data []float32, p ebcl.Params) ([]byte, error) {
+	out, err := r.Compressor.CompressAppend(dst, data, p)
+	if err == nil && len(out) > len(dst) {
+		r.blobPtrs = append(r.blobPtrs, &out[len(dst)])
+	}
+	return out, err
+}
+
+// TestCompressSectionsEmitsBlobInPlace locks the zero-copy section
+// contract: the tensor section handed to emit must contain the compressed
+// blob exactly where CompressAppend wrote it (behind a reserved fixed-width
+// length prefix), not a copy — and the padded prefix must still decode as a
+// plain uvarint.
+func TestCompressSectionsEmitsBlobInPlace(t *testing.T) {
+	sd := encodeDict(7, 3, 4096)
+	inner, err := compressors.Get("sz2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingCompressor{Compressor: inner}
+	var stream []byte
+	tensorIdx := 0
+	// A nil pool runs the blob workers serially at submit time, so
+	// rec.blobPtrs accumulates in emit order without synchronization.
+	_, err = CompressSections(context.Background(), nil, sd, Options{Lossy: rec}, func(kind SectionKind, payload []byte) error {
+		stream = append(stream, payload...)
+		if kind != SectionTensor {
+			return nil
+		}
+		_, pos, err := readString(payload, 0)
+		if err != nil {
+			t.Fatalf("tensor section %d: name: %v", tensorIdx, err)
+		}
+		rank := int(payload[pos+1])
+		pos += 2 + 4*rank
+		l, k := binary.Uvarint(payload[pos:])
+		if k != ebcl.SectionLenBytes {
+			t.Fatalf("tensor section %d: length prefix is %d bytes, want reserved %d", tensorIdx, k, ebcl.SectionLenBytes)
+		}
+		blobStart := pos + k
+		if int(l) != len(payload)-blobStart {
+			t.Fatalf("tensor section %d: prefix says %d blob bytes, section carries %d", tensorIdx, l, len(payload)-blobStart)
+		}
+		if tensorIdx >= len(rec.blobPtrs) {
+			t.Fatalf("tensor section %d emitted but only %d CompressAppend calls recorded", tensorIdx, len(rec.blobPtrs))
+		}
+		if &payload[blobStart] != rec.blobPtrs[tensorIdx] {
+			t.Fatalf("tensor section %d: emitted blob does not alias CompressAppend output (blob was copied)", tensorIdx)
+		}
+		tensorIdx++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensorIdx == 0 {
+		t.Fatal("no tensor sections emitted")
+	}
+	got, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatalf("decode of zero-copy stream: %v", err)
+	}
+	if got.NumParams() != sd.NumParams() {
+		t.Fatalf("round trip params %d, want %d", got.NumParams(), sd.NumParams())
+	}
 }

@@ -114,6 +114,25 @@ func corruptCorpus(tb testing.TB) []corpusEntry {
 	flip("entry-count", nameEnd, 0xFF)
 	// Path flag outside {0,1}.
 	flip("path-flag", nameEnd+4, 0x80)
+	// Tensor-section damage: flips land inside the compressed blobs (where
+	// the multi-stream entropy framing lives), and truncations cut a
+	// sub-stream boundary mid-section. A flip may hit don't-care padding, so
+	// only the truncations are must-error.
+	secs, err := Sections(stream)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	off := len(secs.Header)
+	for i, ts := range secs.Tensors {
+		for _, q := range []int{1, 2, 3} {
+			bad := append([]byte(nil), stream...)
+			bad[off+len(ts)*q/4] ^= 0xA5
+			add(fmt.Sprintf("tensor%d-flip%d", i, q), bad, false)
+		}
+		add(fmt.Sprintf("tensor%d-trunc", i),
+			append([]byte(nil), stream[:off+len(ts)/2]...), true)
+		off += len(ts)
+	}
 	// Random flips: not guaranteed to error, but must never panic.
 	for trial := 0; trial < 64; trial++ {
 		bad := append([]byte(nil), stream...)

@@ -59,7 +59,7 @@ func Sections(stream []byte) (*StreamSections, error) {
 	if len(stream) < 5 || binary.LittleEndian.Uint32(stream) != streamMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if stream[4] != streamVersion {
+	if !supportedStreamVersion(stream[4]) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
 	}
 	pos := 5
@@ -295,7 +295,7 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	if binary.LittleEndian.Uint32(hdr[:]) != streamMagic {
 		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if hdr[4] != streamVersion {
+	if !supportedStreamVersion(hdr[4]) {
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
 	}
 	lossyName, err := src.readString("lossy compressor name")

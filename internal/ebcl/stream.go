@@ -54,6 +54,36 @@ func AppendSection(dst, section []byte) []byte {
 	return append(dst, section...)
 }
 
+// SectionLenBytes is the width of the fixed-size length prefix written by
+// ReserveSectionLen/PatchSectionLen: five varint groups cover lengths up to
+// 2^35-1, beyond any section the pipeline frames.
+const SectionLenBytes = 5
+
+// ReserveSectionLen appends a SectionLenBytes-wide length-prefix
+// placeholder, returning the grown slice. It is the zero-copy counterpart
+// of AppendSection: a producer reserves the prefix, appends the section
+// payload directly behind it (no staging buffer), then backfills the real
+// length with PatchSectionLen. The padded encoding — continuation bits set
+// on leading zero groups — is still a valid uvarint, so ReadSection and
+// binary.ReadUvarint consume it transparently.
+func ReserveSectionLen(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0)
+}
+
+// PatchSectionLen writes n as a padded uvarint into the placeholder
+// previously reserved at pos. n must fit SectionLenBytes varint groups
+// (n < 2^35).
+func PatchSectionLen(dst []byte, pos int, n uint64) {
+	if n >= 1<<(7*SectionLenBytes) {
+		panic(fmt.Sprintf("ebcl: section length %d exceeds %d-byte prefix", n, SectionLenBytes))
+	}
+	for i := 0; i < SectionLenBytes-1; i++ {
+		dst[pos+i] = byte(n)&0x7F | 0x80
+		n >>= 7
+	}
+	dst[pos+SectionLenBytes-1] = byte(n)
+}
+
 // ReadSection reads a section written by AppendSection starting at pos,
 // returning the section contents and the next position.
 func ReadSection(src []byte, pos int) ([]byte, int, error) {

@@ -481,6 +481,11 @@ type Federation struct {
 	Transport Transport
 	Test      *dataset.Dataset
 	EvalBatch int
+
+	// acc is the FedAvg accumulator, pooled on first use and rezeroed in
+	// place every subsequent round (LoadStateDict copies out of it, so
+	// holding it across rounds is safe).
+	acc *tensor.StateDict
 }
 
 // NewFederation wires a federation together. All client networks must be
@@ -560,7 +565,8 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 	// rather than O(clients × model). A StreamBatchTransport additionally
 	// fuses the encode into each chunk's upload; a BatchTransport decodes
 	// pre-encoded payloads under one shared parallelism budget.
-	acc := globalState.Zero()
+	f.acc = globalState.ZeroInto(f.acc)
+	acc := f.acc
 	weight := 1 / float32(len(f.Clients))
 	chunk := 2 * runtime.GOMAXPROCS(0)
 	t0 := time.Now()

@@ -470,15 +470,24 @@ func (a *Aggregator) Count() int {
 	return a.n
 }
 
-// Mean returns the FedAvg mean of the folded updates (a copy) and their
-// count; nil and 0 before the first update.
+// Mean returns the FedAvg mean of the folded updates (a copy over pooled
+// tensor buffers) and their count; nil and 0 before the first update.
+// Recycle the returned dict via core.Release once it has been consumed.
 func (a *Aggregator) Mean() (*tensor.StateDict, int) {
+	return a.MeanInto(nil)
+}
+
+// MeanInto is Mean writing into dst's storage when dst is structurally
+// compatible with the accumulator (the steady-state path for a server
+// computing a mean every round); otherwise the copy is built over pooled
+// tensor buffers exactly as Mean does.
+func (a *Aggregator) MeanInto(dst *tensor.StateDict) (*tensor.StateDict, int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.sum == nil {
 		return nil, 0
 	}
-	out := a.sum.Clone()
+	out := a.sum.CloneInto(dst)
 	out.Scale(1 / float32(a.n))
 	return out, a.n
 }

@@ -1,0 +1,241 @@
+package huffman
+
+// Tests for the multi-stream (v2) bulk format: round trips across stream
+// counts and sizes, v1 fallback interop, and must-error guarantees on
+// corrupted sub-stream boundaries.
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// quantLikeSymbols draws a skewed, escape-bearing distribution shaped like
+// real quantization codes.
+func quantLikeSymbols(rng *rand.Rand, n int) []uint16 {
+	syms := make([]uint16, n)
+	for i := range syms {
+		if rng.IntN(200) == 0 {
+			syms[i] = quantEscape
+			continue
+		}
+		syms[i] = uint16(quantRadius + int(rng.NormFloat64()*6))
+	}
+	return syms
+}
+
+// multiSizePos parses a multi-stream blob up to its jump table, returning
+// the byte offset of the per-stream size words and the stream count.
+func multiSizePos(t *testing.T, blob []byte) (pos, streams int) {
+	t.Helper()
+	if len(blob) == 0 || blob[0] != multiMagic {
+		t.Fatal("not a multi-stream blob")
+	}
+	pos = 1
+	for field := 0; field < 3; field++ {
+		v, k := binary.Uvarint(blob[pos:])
+		if k <= 0 {
+			t.Fatal("bad multi header uvarint")
+		}
+		pos += k
+		switch field {
+		case 1:
+			streams = int(v)
+		case 2:
+			pos += int(v) // skip the length table
+		}
+	}
+	return pos, streams
+}
+
+func TestMultiRoundTripStreamCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 5))
+	for _, n := range []int{0, 1, 7, multiMinSymbols - 1, multiMinSymbols, multiMinSymbols + 1, 4096, 100_000} {
+		syms := quantLikeSymbols(rng, n)
+		for _, streams := range []int{1, 2, 3, 4, 5, 8, maxStreams} {
+			enc, err := EncodeMultiU16(syms, quantAlphabet, streams)
+			if err != nil {
+				t.Fatalf("n=%d streams=%d: encode: %v", n, streams, err)
+			}
+			dec, err := DecodeMultiU16(enc, quantAlphabet)
+			if err != nil {
+				t.Fatalf("n=%d streams=%d: decode: %v", n, streams, err)
+			}
+			if len(dec) != n {
+				t.Fatalf("n=%d streams=%d: decoded %d symbols", n, streams, len(dec))
+			}
+			for i := range syms {
+				if dec[i] != syms[i] {
+					t.Fatalf("n=%d streams=%d: symbol %d = %d, want %d", n, streams, i, dec[i], syms[i])
+				}
+			}
+			sched.PutUint16s(dec)
+			sched.PutBytes(enc)
+		}
+	}
+}
+
+// TestMultiFormatSelection locks the framing decisions: small inputs and
+// streams==1 stay on the v1 single-stream layout (decodable by
+// DecodeAllU16), larger ones get the marker byte.
+func TestMultiFormatSelection(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 2))
+	small := quantLikeSymbols(rng, multiMinSymbols-1)
+	enc, err := EncodeMultiU16(small, quantAlphabet, DefaultStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] == multiMagic {
+		t.Fatal("sub-threshold input should use the single-stream layout")
+	}
+	dec, err := DecodeAllU16(enc, quantAlphabet)
+	if err != nil {
+		t.Fatalf("fallback blob must decode as v1: %v", err)
+	}
+	sched.PutUint16s(dec)
+	sched.PutBytes(enc)
+
+	big := quantLikeSymbols(rng, 4*multiMinSymbols)
+	enc1, err := EncodeMultiU16(big, quantAlphabet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc1[0] == multiMagic {
+		t.Fatal("streams=1 should use the single-stream layout")
+	}
+	// A v1 blob over any alphabet ≤ 65536 starts with the high byte of a
+	// 24-bit count ≤ 0x01 — the marker cannot be ambiguous.
+	if enc1[0] > 0x01 {
+		t.Fatalf("single-stream first byte 0x%02x breaks the marker disambiguation", enc1[0])
+	}
+	sched.PutBytes(enc1)
+
+	encN, err := EncodeMultiU16(big, quantAlphabet, DefaultStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encN[0] != multiMagic {
+		t.Fatal("multi-stream blob missing marker byte")
+	}
+	sched.PutBytes(encN)
+}
+
+func TestMultiDecodeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 44))
+	syms := quantLikeSymbols(rng, 20_000)
+	single, err := EncodeAllU16(syms, quantAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DecodeMultiU16 must transparently decode v1 blobs...
+	dec, err := DecodeMultiU16(single, quantAlphabet)
+	if err != nil {
+		t.Fatalf("DecodeMultiU16 on v1 blob: %v", err)
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("v1 fallback symbol %d = %d, want %d", i, dec[i], syms[i])
+		}
+	}
+	sched.PutUint16s(dec)
+	sched.PutBytes(single)
+}
+
+func TestEncodeMultiArgErrors(t *testing.T) {
+	syms := make([]uint16, 1024)
+	if _, err := EncodeMultiU16(syms, quantAlphabet, 0); err == nil {
+		t.Fatal("streams=0 must error")
+	}
+	if _, err := EncodeMultiU16(syms, quantAlphabet, maxStreams+1); err == nil {
+		t.Fatal("streams over the cap must error")
+	}
+	if _, err := EncodeMultiU16(syms, 1<<16+1, DefaultStreams); err == nil {
+		t.Fatal("alphabet over uint16 must error")
+	}
+	syms[512] = 99
+	if _, err := EncodeMultiU16(syms, 64, DefaultStreams); err == nil {
+		t.Fatal("symbol outside alphabet must error")
+	}
+}
+
+// corruptMultiBlobs builds a family of structurally corrupted multi-stream
+// blobs, every one of which must fail decoding (never panic, never succeed).
+func corruptMultiBlobs(t *testing.T, blob []byte) map[string][]byte {
+	t.Helper()
+	sizePos, streams := multiSizePos(t, blob)
+	clone := func() []byte { return append([]byte(nil), blob...) }
+	muts := map[string][]byte{
+		"truncated mid-substream":   blob[:len(blob)-3],
+		"truncated at jump table":   blob[:sizePos+2],
+		"truncated after header":    blob[:1],
+		"size inflated":             clone(),
+		"size deflated":             clone(),
+		"boundary shifted (sum ok)": clone(),
+		"stream count zero":         clone(),
+		"stream count over cap":     clone(),
+		"symbol count inflated":     clone(),
+	}
+	s0 := binary.LittleEndian.Uint32(muts["size inflated"][sizePos:])
+	binary.LittleEndian.PutUint32(muts["size inflated"][sizePos:], s0+1)
+	binary.LittleEndian.PutUint32(muts["size deflated"][sizePos:], s0-1)
+	// Shift one boundary while keeping the total intact: stream 0 swallows
+	// stream 1's first byte. The per-stream slack check must catch it.
+	b := muts["boundary shifted (sum ok)"]
+	s1 := binary.LittleEndian.Uint32(b[sizePos+4:])
+	binary.LittleEndian.PutUint32(b[sizePos:], s0+1)
+	binary.LittleEndian.PutUint32(b[sizePos+4:], s1-1)
+	// The stream-count uvarint sits right after the symbol-count uvarint.
+	nLen := 0
+	for _, v := range blob[1:] {
+		nLen++
+		if v < 0x80 {
+			break
+		}
+	}
+	muts["stream count zero"][1+nLen] = 0
+	if streams >= 0x80 {
+		t.Fatal("test assumes single-byte stream count")
+	}
+	muts["stream count over cap"][1+nLen] = maxStreams + 1
+	muts["symbol count inflated"][1] = 0x7F // bigger count, same payload
+	return muts
+}
+
+func TestDecodeMultiCorruptBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 1))
+	syms := quantLikeSymbols(rng, 8192)
+	blob, err := EncodeMultiU16(syms, quantAlphabet, DefaultStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range corruptMultiBlobs(t, blob) {
+		out, err := DecodeMultiU16(mut, quantAlphabet)
+		if err == nil {
+			sched.PutUint16s(out)
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	sched.PutBytes(blob)
+}
+
+func BenchmarkMultiDecode(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const nSyms = 1 << 16
+	syms := quantLikeSymbols(rng, nSyms)
+	enc, err := EncodeMultiU16(syms, quantAlphabet, DefaultStreams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(nSyms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := DecodeMultiU16(enc, quantAlphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched.PutUint16s(out)
+	}
+}

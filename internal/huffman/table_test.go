@@ -6,6 +6,7 @@ package huffman
 // and identical stream positions.
 
 import (
+	"encoding/binary"
 	"math/rand/v2"
 	"testing"
 
@@ -220,9 +221,40 @@ func FuzzHuffmanRoundTrip(f *testing.F) {
 	f.Add(seed2, uint16(quantAlphabet))
 	f.Add([]byte{0x00, 0x01, 0xFF}, uint16(300))
 	f.Add(seed2[:len(seed2)/2], uint16(quantAlphabet))
+	// Multi-stream seeds: a valid 4-stream blob plus boundary corruptions —
+	// truncated sub-streams and shifted/inflated jump-table sizes — which the
+	// decoder must reject without panicking.
+	quantLong := make([]uint16, 4*multiMinSymbols)
+	for i := range quantLong {
+		quantLong[i] = uint16(quantRadius + int(rng.NormFloat64()*5))
+	}
+	seed3, _ := EncodeMultiU16(quantLong, quantAlphabet, DefaultStreams)
+	f.Add(seed3, uint16(quantAlphabet))
+	f.Add(seed3[:len(seed3)-5], uint16(quantAlphabet))
+	f.Add(seed3[:len(seed3)/3], uint16(quantAlphabet))
+	{
+		sizePos := 1
+		for field := 0; field < 3; field++ {
+			v, k := binary.Uvarint(seed3[sizePos:])
+			sizePos += k
+			if field == 2 {
+				sizePos += int(v)
+			}
+		}
+		shift := append([]byte(nil), seed3...)
+		s0 := binary.LittleEndian.Uint32(shift[sizePos:])
+		s1 := binary.LittleEndian.Uint32(shift[sizePos+4:])
+		binary.LittleEndian.PutUint32(shift[sizePos:], s0+1)
+		binary.LittleEndian.PutUint32(shift[sizePos+4:], s1-1)
+		f.Add(shift, uint16(quantAlphabet))
+		inflate := append([]byte(nil), seed3...)
+		binary.LittleEndian.PutUint32(inflate[sizePos:], s0+7)
+		f.Add(inflate, uint16(quantAlphabet))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte, alphaSel uint16) {
 		alphabet := int(alphaSel)%4096 + 1
+		streams := int(alphaSel>>12)%DefaultStreams + 1
 
 		// Round trip: bytes reduced into the alphabet must survive
 		// encode → decode exactly.
@@ -248,6 +280,34 @@ func FuzzHuffmanRoundTrip(f *testing.F) {
 		}
 		sched.PutUint16s(dec)
 		sched.PutBytes(enc)
+
+		// Multi-stream round trip at a fuzz-chosen stream count; the decoder
+		// must reproduce the input whether the encoder picked the multi or
+		// fallback layout.
+		menc, err := EncodeMultiU16(syms, alphabet, streams)
+		if err != nil {
+			t.Fatalf("multi encode (streams=%d): %v", streams, err)
+		}
+		mdec, err := DecodeMultiU16(menc, alphabet)
+		if err != nil {
+			t.Fatalf("multi decode of own encoding (streams=%d): %v", streams, err)
+		}
+		if len(mdec) != len(syms) {
+			t.Fatalf("multi round trip length %d want %d", len(mdec), len(syms))
+		}
+		for i := range syms {
+			if mdec[i] != syms[i] {
+				t.Fatalf("multi round trip symbol %d: got %d want %d", i, mdec[i], syms[i])
+			}
+		}
+		sched.PutUint16s(mdec)
+		sched.PutBytes(menc)
+
+		// Arbitrary bytes through the multi decoder must decode or error,
+		// never panic — this is what the corrupted-boundary seeds exercise.
+		if out, err := DecodeMultiU16(data, alphabet); err == nil {
+			sched.PutUint16s(out)
+		}
 
 		// Differential: the raw input treated as a stream must decode (or
 		// fail) identically under the table and reference decoders.

@@ -107,15 +107,55 @@ func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byt
 		predKinds[b] = kind
 		if kind == predRegression {
 			coeffs = append(coeffs, a, bb)
-		}
-		for i, v := range block {
-			var pred float64
-			if kind == predLorenzo {
-				pred = prevRecon
-			} else {
-				pred = float64(a)*float64(i) + float64(bb)
+			// Regression predictions depend only on the index, so the
+			// quantize loop runs 4-wide: four independent Quantize chains in
+			// flight instead of one. Only the 4th lane's outcome feeds the
+			// Lorenzo state for the next block.
+			af, bf := float64(a), float64(bb)
+			i := 0
+			for ; i+4 <= len(block); i += 4 {
+				c0, _, ok0 := q.Quantize(float64(block[i]), af*float64(i)+bf)
+				c1, _, ok1 := q.Quantize(float64(block[i+1]), af*float64(i+1)+bf)
+				c2, _, ok2 := q.Quantize(float64(block[i+2]), af*float64(i+2)+bf)
+				c3, r3, ok3 := q.Quantize(float64(block[i+3]), af*float64(i+3)+bf)
+				if ok0 && ok1 && ok2 && ok3 {
+					codes[lo+i] = uint16(c0)
+					codes[lo+i+1] = uint16(c1)
+					codes[lo+i+2] = uint16(c2)
+					codes[lo+i+3] = uint16(c3)
+					prevRecon = float64(r3)
+					continue
+				}
+				for k, v := range block[i : i+4] {
+					code, recon, ok := q.Quantize(float64(v), af*float64(i+k)+bf)
+					if !ok {
+						codes[lo+i+k] = ebcl.EscapeCode
+						literals = append(literals, v)
+						prevRecon = float64(v)
+						continue
+					}
+					codes[lo+i+k] = uint16(code)
+					prevRecon = float64(recon)
+				}
 			}
-			code, recon, ok := q.Quantize(float64(v), pred)
+			for ; i < len(block); i++ {
+				v := block[i]
+				code, recon, ok := q.Quantize(float64(v), af*float64(i)+bf)
+				if !ok {
+					codes[lo+i] = ebcl.EscapeCode
+					literals = append(literals, v)
+					prevRecon = float64(v)
+					continue
+				}
+				codes[lo+i] = uint16(code)
+				prevRecon = float64(recon)
+			}
+			continue
+		}
+		// Lorenzo: inherently serial — every prediction is the previous
+		// reconstruction.
+		for i, v := range block {
+			code, recon, ok := q.Quantize(float64(v), prevRecon)
 			if !ok {
 				codes[lo+i] = ebcl.EscapeCode
 				literals = append(literals, v)
@@ -127,7 +167,7 @@ func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byt
 		}
 	}
 
-	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
+	codeBlob, err := huffman.EncodeMultiU16(codes, ebcl.QuantAlphabet, huffman.DefaultStreams)
 	sched.PutUint16s(codes)
 	if err != nil {
 		sched.PutBytes(predKinds)
@@ -214,7 +254,7 @@ func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, er
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
-	codes, err := huffman.DecodeAllU16(codeBlob, ebcl.QuantAlphabet)
+	codes, err := huffman.DecodeMultiU16(codeBlob, ebcl.QuantAlphabet)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +287,49 @@ func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, er
 		default:
 			return nil, ebcl.ErrCorrupt
 		}
+		if kind == predRegression {
+			// Index-based predictions: dequantize 4-wide. Escape codes
+			// (rare) drop the quad to the scalar path; the Lorenzo state
+			// only needs the block's final reconstruction.
+			af, bf := float64(a), float64(bb)
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				c0, c1, c2, c3 := codes[i], codes[i+1], codes[i+2], codes[i+3]
+				if c0 != ebcl.EscapeCode && c1 != ebcl.EscapeCode && c2 != ebcl.EscapeCode && c3 != ebcl.EscapeCode {
+					out[i] = q.Dequantize(int(c0), af*float64(i-lo)+bf)
+					out[i+1] = q.Dequantize(int(c1), af*float64(i+1-lo)+bf)
+					out[i+2] = q.Dequantize(int(c2), af*float64(i+2-lo)+bf)
+					out[i+3] = q.Dequantize(int(c3), af*float64(i+3-lo)+bf)
+					continue
+				}
+				for j := i; j < i+4; j++ {
+					code := codes[j]
+					if code == ebcl.EscapeCode {
+						if litIdx >= literals.Len() {
+							return nil, ebcl.ErrCorrupt
+						}
+						out[j] = literals.At(litIdx)
+						litIdx++
+						continue
+					}
+					out[j] = q.Dequantize(int(code), af*float64(j-lo)+bf)
+				}
+			}
+			for ; i < hi; i++ {
+				code := codes[i]
+				if code == ebcl.EscapeCode {
+					if litIdx >= literals.Len() {
+						return nil, ebcl.ErrCorrupt
+					}
+					out[i] = literals.At(litIdx)
+					litIdx++
+					continue
+				}
+				out[i] = q.Dequantize(int(code), af*float64(i-lo)+bf)
+			}
+			prevRecon = float64(out[hi-1])
+			continue
+		}
 		for i := lo; i < hi; i++ {
 			code := codes[i]
 			if code == ebcl.EscapeCode {
@@ -258,13 +341,7 @@ func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, er
 				prevRecon = float64(out[i])
 				continue
 			}
-			var pred float64
-			if kind == predLorenzo {
-				pred = prevRecon
-			} else {
-				pred = float64(a)*float64(i-lo) + float64(bb)
-			}
-			out[i] = q.Dequantize(int(code), pred)
+			out[i] = q.Dequantize(int(code), prevRecon)
 			prevRecon = float64(out[i])
 		}
 	}
@@ -283,10 +360,29 @@ func chooseBlockPredictor(block []float32, prev float64) (kind byte, a, b float3
 		return predLorenzo, 0, 0
 	}
 	af, bf := fitLine(block)
-	var lorenzoErr, regErr float64
+	// Four independent partial sums per metric: the Lorenzo term only needs
+	// the previous *original* value (not an accumulator chain), so the whole
+	// scoring pass is data-parallel and runs 4-wide.
+	var l0, l1, l2, l3 float64
+	var r0, r1, r2, r3 float64
 	p := prev
-	for i, v := range block {
-		fv := float64(v)
+	i := 0
+	for ; i+4 <= len(block); i += 4 {
+		f0, f1, f2, f3 := float64(block[i]), float64(block[i+1]), float64(block[i+2]), float64(block[i+3])
+		l0 += math.Abs(f0 - p)
+		l1 += math.Abs(f1 - f0)
+		l2 += math.Abs(f2 - f1)
+		l3 += math.Abs(f3 - f2)
+		r0 += math.Abs(f0 - (af*float64(i) + bf))
+		r1 += math.Abs(f1 - (af*float64(i+1) + bf))
+		r2 += math.Abs(f2 - (af*float64(i+2) + bf))
+		r3 += math.Abs(f3 - (af*float64(i+3) + bf))
+		p = f3
+	}
+	lorenzoErr := l0 + l1 + l2 + l3
+	regErr := r0 + r1 + r2 + r3
+	for ; i < len(block); i++ {
+		fv := float64(block[i])
 		lorenzoErr += math.Abs(fv - p)
 		p = fv
 		regErr += math.Abs(fv - (af*float64(i) + bf))
@@ -299,16 +395,33 @@ func chooseBlockPredictor(block []float32, prev float64) (kind byte, a, b float3
 }
 
 // fitLine computes the least-squares line v ≈ a·i + b over block indices.
+// The x moments are closed-form over 0..n-1 (exact in float64 for any block
+// this codec sees); only the data moments sy and sxy need a pass, which runs
+// 4-wide with independent partial sums.
 func fitLine(block []float32) (a, b float64) {
-	n := float64(len(block))
-	var sx, sy, sxx, sxy float64
-	for i, v := range block {
-		x := float64(i)
-		y := float64(v)
-		sx += x
+	m := len(block)
+	n := float64(m)
+	sx := n * (n - 1) / 2
+	sxx := n * (n - 1) * (2*n - 1) / 6
+	var y0, y1, y2, y3, xy0, xy1, xy2, xy3 float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		f0, f1, f2, f3 := float64(block[i]), float64(block[i+1]), float64(block[i+2]), float64(block[i+3])
+		y0 += f0
+		y1 += f1
+		y2 += f2
+		y3 += f3
+		xy0 += float64(i) * f0
+		xy1 += float64(i+1) * f1
+		xy2 += float64(i+2) * f2
+		xy3 += float64(i+3) * f3
+	}
+	sy := y0 + y1 + y2 + y3
+	sxy := xy0 + xy1 + xy2 + xy3
+	for ; i < m; i++ {
+		y := float64(block[i])
 		sy += y
-		sxx += x * x
-		sxy += x * y
+		sxy += float64(i) * y
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {

@@ -106,16 +106,34 @@ func (c *Compressor) CompressAppend(dst []byte, data []float32, p Params) ([]byt
 	// Levels from the largest power-of-two stride covering the array down
 	// to 1. Before level s, indices that are multiples of 2s are
 	// reconstructed; the level fills indices ≡ s (mod 2s).
+	//
+	// Within a level every point reads only the coarser grid (indices that
+	// are multiples of 2s) and writes its own index (≡ s mod 2s), so the
+	// four interpolations of an unrolled group never alias the writes —
+	// computing the predictions up front gives four independent gather+FMA
+	// chains per iteration.
 	for s := topStride(n); s >= 1; s /= 2 {
 		kind := chooseLevelPredictor(data, n, s)
 		levelKinds = append(levelKinds, kind)
-		for i := s; i < n; i += 2 * s {
+		step := 2 * s
+		i := s
+		for ; i+3*step < n; i += 4 * step {
+			p0 := interpolate(recon, n, i, s, kind)
+			p1 := interpolate(recon, n, i+step, s, kind)
+			p2 := interpolate(recon, n, i+2*step, s, kind)
+			p3 := interpolate(recon, n, i+3*step, s, kind)
+			quantizePoint(i, p0)
+			quantizePoint(i+step, p1)
+			quantizePoint(i+2*step, p2)
+			quantizePoint(i+3*step, p3)
+		}
+		for ; i < n; i += step {
 			pred := interpolate(recon, n, i, s, kind)
 			quantizePoint(i, pred)
 		}
 	}
 
-	codeBlob, err := huffman.EncodeAllU16(codes, ebcl.QuantAlphabet)
+	codeBlob, err := huffman.EncodeMultiU16(codes, ebcl.QuantAlphabet, huffman.DefaultStreams)
 	sched.PutUint16s(codes)
 	if err != nil {
 		sched.PutFloats(literals)
@@ -190,7 +208,7 @@ func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, er
 	if err != nil {
 		return nil, ebcl.ErrCorrupt
 	}
-	codes, err := huffman.DecodeAllU16(codeBlob, ebcl.QuantAlphabet)
+	codes, err := huffman.DecodeMultiU16(codeBlob, ebcl.QuantAlphabet)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +254,31 @@ func (c *Compressor) DecompressInto(dst []float32, stream []byte) ([]float32, er
 		if kind != levelLinear && kind != levelCubic {
 			return nil, ebcl.ErrCorrupt
 		}
-		for i := s; i < n; i += 2 * s {
+		// Mirror of the encoder's unroll: interpolations read only the
+		// coarser grid while reconstructPoint writes the current level, so
+		// hoisting four predictions is alias-free and bit-identical to the
+		// one-at-a-time order.
+		step := 2 * s
+		i := s
+		for ; i+3*step < n; i += 4 * step {
+			p0 := interpolate(recon, n, i, s, kind)
+			p1 := interpolate(recon, n, i+step, s, kind)
+			p2 := interpolate(recon, n, i+2*step, s, kind)
+			p3 := interpolate(recon, n, i+3*step, s, kind)
+			if err := reconstructPoint(i, p0); err != nil {
+				return nil, err
+			}
+			if err := reconstructPoint(i+step, p1); err != nil {
+				return nil, err
+			}
+			if err := reconstructPoint(i+2*step, p2); err != nil {
+				return nil, err
+			}
+			if err := reconstructPoint(i+3*step, p3); err != nil {
+				return nil, err
+			}
+		}
+		for ; i < n; i += step {
 			pred := interpolate(recon, n, i, s, kind)
 			if err := reconstructPoint(i, pred); err != nil {
 				return nil, err
@@ -278,9 +320,53 @@ func interpolate(recon []float64, n, i, s int, kind byte) float64 {
 // and picks the one with smaller total absolute residual — SZ3's dynamic
 // spline selection (the extra pass is what makes SZ3 slower than SZ2).
 func chooseLevelPredictor(data []float32, n, s int) byte {
+	// Interior points (full cubic support, right neighbour in range) are
+	// scored 4-wide with independent accumulators; the few boundary points
+	// fall through to the scalar loop.
+	var lin0, lin1, lin2, lin3 float64
+	var cub0, cub1, cub2, cub3 float64
 	var linErr, cubErr float64
 	count := 0
-	for i := s; i < n; i += 2 * s {
+	step := 2 * s
+	i := s
+	if lo := 3 * s; i < lo {
+		for ; i < n && i < lo; i += step {
+			left, right := i-s, i+s
+			if right >= n {
+				continue
+			}
+			v := float64(data[i])
+			lin := (float64(data[left]) + float64(data[right])) / 2
+			linErr += math.Abs(v - lin)
+			cubErr += math.Abs(v - lin)
+			count++
+		}
+	}
+	score := func(i int) (lin, cub float64) {
+		v := float64(data[i])
+		dl, dr := float64(data[i-s]), float64(data[i+s])
+		l := (dl + dr) / 2
+		c := (-float64(data[i-3*s]) + 9*dl + 9*dr - float64(data[i+3*s])) / 16
+		return math.Abs(v - l), math.Abs(v - c)
+	}
+	for ; i+3*step+3*s < n; i += 4 * step {
+		l0, c0 := score(i)
+		l1, c1 := score(i + step)
+		l2, c2 := score(i + 2*step)
+		l3, c3 := score(i + 3*step)
+		lin0 += l0
+		lin1 += l1
+		lin2 += l2
+		lin3 += l3
+		cub0 += c0
+		cub1 += c1
+		cub2 += c2
+		cub3 += c3
+		count += 4
+	}
+	linErr += lin0 + lin1 + lin2 + lin3
+	cubErr += cub0 + cub1 + cub2 + cub3
+	for ; i < n; i += step {
 		left, right := i-s, i+s
 		if right >= n {
 			continue

@@ -10,6 +10,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/sched"
 )
 
 // Kind classifies a state-dict entry for the FedSZ partitioning rule
@@ -227,6 +229,51 @@ func (sd *StateDict) Zero() *StateDict {
 	out := NewStateDict()
 	for _, e := range sd.entries {
 		out.Add(e.Name, e.Kind, New(e.Tensor.Shape...))
+	}
+	return out
+}
+
+// ZeroInto is Zero reusing dst's storage when dst is structurally
+// compatible with sd (same entry names and sizes). When dst is nil or
+// incompatible, a new dict is built over buffers drawn from the shared
+// float32 pool; recycle it via core.Release once the accumulator is dead.
+// Either way the returned dict is all-zero with sd's names and kinds — the
+// allocation-free FedAvg accumulator path.
+func (sd *StateDict) ZeroInto(dst *StateDict) *StateDict {
+	if dst != nil && dst.checkCompatible(sd) == nil {
+		for _, e := range dst.entries {
+			clear(e.Tensor.Data)
+		}
+		return dst
+	}
+	out := NewStateDict()
+	for _, e := range sd.entries {
+		n := e.Tensor.NumElems()
+		buf := sched.GetFloats(n)[:n]
+		clear(buf)
+		out.Add(e.Name, e.Kind, FromData(buf, e.Tensor.Shape...))
+	}
+	return out
+}
+
+// CloneInto is Clone reusing dst's storage when dst is structurally
+// compatible with sd; otherwise the copy is built over pooled float32
+// buffers (recycle via core.Release). Shapes are taken from sd when a new
+// dict is built and left as dst's when reusing — compatibility only
+// requires matching names and element counts.
+func (sd *StateDict) CloneInto(dst *StateDict) *StateDict {
+	if dst != nil && dst.checkCompatible(sd) == nil {
+		for i, e := range dst.entries {
+			copy(e.Tensor.Data, sd.entries[i].Tensor.Data)
+		}
+		return dst
+	}
+	out := NewStateDict()
+	for _, e := range sd.entries {
+		n := e.Tensor.NumElems()
+		buf := sched.GetFloats(n)[:n]
+		copy(buf, e.Tensor.Data)
+		out.Add(e.Name, e.Kind, FromData(buf, e.Tensor.Shape...))
 	}
 	return out
 }
