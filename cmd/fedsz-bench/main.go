@@ -52,6 +52,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nn/models"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -71,8 +72,29 @@ func main() {
 		upload   = flag.String("upload", "", "upload to an external fedsz-serve at this address instead of an in-process server (with -serve)")
 		jsonOut  = flag.String("json", "", "measure the entropy stage + SZ2/SZ3 codec paths and write a machine-readable perf snapshot to this path ('-' for stdout)")
 		baseline = flag.String("baseline", "", "diff the -json snapshot against this committed baseline's schema (fields present, no NaNs)")
+		tracePth = flag.String("trace", "", "write JSONL trace events (phase spans, per-connection/update events) to this path ('-' for stderr)")
 	)
 	flag.Parse()
+
+	var tracer *telemetry.Tracer
+	if *tracePth != "" {
+		tw := io.Writer(os.Stderr)
+		if *tracePth != "-" {
+			f, err := os.Create(*tracePth)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			tw = f
+		}
+		tracer = telemetry.NewTracer(tw)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -93,7 +115,7 @@ func main() {
 		if *clients <= 0 {
 			*clients = 32
 		}
-		if err := runStreamSim(os.Stdout, *clients, *parallel, *mbps, *model, *scale, *seed, *upload); err != nil {
+		if err := runStreamSim(os.Stdout, *clients, *parallel, *mbps, *model, *scale, *seed, *upload, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,7 +123,7 @@ func main() {
 	}
 
 	if *clients > 0 {
-		if err := runServerSim(os.Stdout, *clients, *parallel, *rounds, *model, *scale, *seed); err != nil {
+		if err := runServerSim(os.Stdout, *clients, *parallel, *rounds, *model, *scale, *seed, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,8 +200,10 @@ func buildUpdates(nClients int, model string, scale float64, seed uint64, parall
 // runStreamSim measures the full streaming ingest path — wire framing,
 // TCP loopback, decode-while-receiving, incremental FedAvg fold — against
 // the serial and batched in-memory decoders on the same payloads.
-func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model string, scale float64, seed uint64, uploadAddr string) error {
+func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model string, scale float64, seed uint64, uploadAddr string, tracer *telemetry.Tracer) error {
+	buildSpan := tracer.Span("build_updates", telemetry.A("clients", nClients), telemetry.A("model", model))
 	updates, streams, rawBytes, wireBytes, err := buildUpdates(nClients, model, scale, seed, parallelism)
+	buildSpan.End(telemetry.A("raw_bytes", rawBytes), telemetry.A("wire_bytes", wireBytes))
 	if err != nil {
 		return err
 	}
@@ -201,10 +225,12 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 		{"serial", 1},
 		{fmt.Sprintf("batched(%d)", sched.NewPool(parallelism).Parallelism()), parallelism},
 	} {
+		sp := tracer.Span("baseline_decode", telemetry.A("mode", mode.label))
 		t0 := time.Now()
 		if _, _, err := core.DecompressAll(context.Background(), streams, mode.par); err != nil {
 			return err
 		}
+		sp.End()
 		report(mode.label, time.Since(t0), "")
 	}
 
@@ -213,12 +239,13 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 	var srv *flserve.Server
 	var agg flserve.Aggregator
 	if addr == "" {
-		srv, err = flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg.Add})
+		srv, err = flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg.Add, Tracer: tracer})
 		if err != nil {
 			return err
 		}
 		addr = srv.Addr().String()
 	}
+	uploadSpan := tracer.Span("stream_upload", telemetry.A("clients", nClients), telemetry.A("mbps", mbps))
 	link := netsim.Link{BandwidthMbps: mbps}
 	errs := make([]error, nClients)
 	t0 := time.Now()
@@ -233,6 +260,7 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 	}
 	wg.Wait()
 	dur := time.Since(t0)
+	uploadSpan.End()
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("client %d upload: %w", i, err)
@@ -262,10 +290,11 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 	// socket (core.CompressSections → wire frames), so upload overlaps the
 	// encode — the client-side mirror of the server's overlap above.
 	var agg2 flserve.Aggregator
-	srv2, err := flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg2.Add})
+	srv2, err := flserve.Listen("127.0.0.1:0", flserve.Config{Parallel: parallelism, Handler: agg2.Add, Tracer: tracer})
 	if err != nil {
 		return err
 	}
+	encSpan := tracer.Span("stream_encode_upload", telemetry.A("clients", nClients))
 	// Each client encodes on a pool with at least one helper so section
 	// writes can overlap later tensors' compression even on 1-CPU hosts
 	// (a helper compresses while the caller sleeps in the throttled
@@ -290,6 +319,7 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 	}
 	wg.Wait()
 	dur = time.Since(t0)
+	encSpan.End()
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("client %d streaming-encode upload: %w", i, err)
@@ -313,7 +343,7 @@ func runStreamSim(w io.Writer, nClients, parallelism int, mbps float64, model st
 // Eqn-1 scenario: nClients updates arrive each round and must be decoded
 // before FedAvg can aggregate. It compares the serial seed-style decoder
 // against the shared-pool batched decoder at the requested budget.
-func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, scale float64, seed uint64) error {
+func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, scale float64, seed uint64, tracer *telemetry.Tracer) error {
 	// Synthesize per-client updates: same architecture, different weights,
 	// like a real round's worth of client deltas.
 	updates := make([]*tensor.StateDict, nClients)
@@ -330,12 +360,14 @@ func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, 
 		rawBytes += sd.SizeBytes()
 	}
 
+	compressSpan := tracer.Span("batch_compress", telemetry.A("clients", nClients), telemetry.A("model", model))
 	t0 := time.Now()
 	streams, _, err := core.CompressAll(context.Background(), updates, core.Options{LossyParams: ebcl.Rel(1e-2)}, parallelism)
 	if err != nil {
 		return err
 	}
 	tC := time.Since(t0)
+	compressSpan.End(telemetry.A("raw_bytes", rawBytes))
 	wireBytes := 0
 	for _, s := range streams {
 		wireBytes += len(s)
@@ -354,12 +386,14 @@ func runServerSim(w io.Writer, nClients, parallelism, rounds int, model string, 
 		{fmt.Sprintf("pool(%d)", sched.NewPool(parallelism).Parallelism()), parallelism},
 	} {
 		for r := 0; r < rounds; r++ {
+			sp := tracer.Span("decode_round", telemetry.A("mode", mode.label), telemetry.A("round", r))
 			t0 := time.Now()
 			decoded, _, err := core.DecompressAll(context.Background(), streams, mode.par)
 			if err != nil {
 				return err
 			}
 			dur := time.Since(t0)
+			sp.End(telemetry.A("streams", len(decoded)))
 			if len(decoded) != nClients {
 				return fmt.Errorf("decoded %d of %d streams", len(decoded), nClients)
 			}

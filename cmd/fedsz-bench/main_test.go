@@ -1,18 +1,22 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestServerSimSmoke drives the -clients/-parallel aggregation-server
 // simulation at quickstart size and checks the report structure.
 func TestServerSimSmoke(t *testing.T) {
 	var sb strings.Builder
-	if err := runServerSim(&sb, 4, 2, 1, "alexnet", 0.01, 1); err != nil {
+	if err := runServerSim(&sb, 4, 2, 1, "alexnet", 0.01, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -25,16 +29,20 @@ func TestServerSimSmoke(t *testing.T) {
 
 func TestServerSimRejectsUnknownModel(t *testing.T) {
 	var sb strings.Builder
-	if err := runServerSim(&sb, 2, 1, 1, "nope", 0.01, 1); err == nil {
+	if err := runServerSim(&sb, 2, 1, 1, "nope", 0.01, 1, nil); err == nil {
 		t.Fatal("expected error for unknown model")
 	}
 }
 
 // TestStreamSimSmoke drives the -serve streaming ingest at quickstart size:
-// in-memory baselines plus a real loopback server round.
+// in-memory baselines plus a real loopback server round. A tracer rides
+// along and must produce one intact JSONL span per phase plus the server's
+// per-connection/per-update events.
 func TestStreamSimSmoke(t *testing.T) {
 	var sb strings.Builder
-	if err := runStreamSim(&sb, 6, 2, 0, "alexnet", 0.01, 1, ""); err != nil {
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf)
+	if err := runStreamSim(&sb, 6, 2, 0, "alexnet", 0.01, 1, "", tracer); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -43,11 +51,32 @@ func TestStreamSimSmoke(t *testing.T) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
 	}
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]int{}
+	sc := bufio.NewScanner(&traceBuf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		ev, _ := m["event"].(string)
+		events[ev]++
+	}
+	for _, want := range []string{"build_updates", "baseline_decode", "stream_upload", "conn", "update", "stream_encode_upload"} {
+		if events[want] == 0 {
+			t.Fatalf("trace missing %q events (have %v)", want, events)
+		}
+	}
+	if events["update"] < 12 { // 6 streamed + 6 stream-encoded
+		t.Fatalf("trace has %d update events, want >= 12", events["update"])
+	}
 }
 
 func TestStreamSimRejectsUnknownModel(t *testing.T) {
 	var sb strings.Builder
-	if err := runStreamSim(&sb, 2, 1, 0, "nope", 0.01, 1, ""); err == nil {
+	if err := runStreamSim(&sb, 2, 1, 0, "nope", 0.01, 1, "", nil); err == nil {
 		t.Fatal("expected error for unknown model")
 	}
 }

@@ -9,6 +9,7 @@
 //	fedsz-serve                          # listen on 127.0.0.1:9464 until interrupted
 //	fedsz-serve -addr :9000 -parallel 8  # custom port, 8-way decode budget
 //	fedsz-serve -updates 64              # exit after 64 updates, print summary
+//	fedsz-serve -metrics-addr :9465      # expose /metrics, /healthz, /debug/pprof
 //
 // Pair it with the upload side of the benchmark harness:
 //
@@ -20,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -27,16 +31,19 @@ import (
 	"time"
 
 	"repro/internal/flserve"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9464", "TCP listen address")
-		parallel = flag.Int("parallel", 0, "decode budget shared across connections (0 = GOMAXPROCS)")
-		maxConns = flag.Int("max-conns", 0, "concurrent connection cap (0 = 4×GOMAXPROCS)")
-		updates  = flag.Int("updates", 0, "exit after N ingested updates (0 = run until interrupted)")
-		quiet    = flag.Bool("quiet", false, "suppress the per-update log lines")
-		upTO     = flag.Duration("upload-timeout", 0, "per-update deadline: clientID through ack (0 = no bound)")
+		addr        = flag.String("addr", "127.0.0.1:9464", "TCP listen address")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+		parallel    = flag.Int("parallel", 0, "decode budget shared across connections (0 = GOMAXPROCS)")
+		maxConns    = flag.Int("max-conns", 0, "concurrent connection cap (0 = 4×GOMAXPROCS)")
+		updates     = flag.Int("updates", 0, "exit after N ingested updates (0 = run until interrupted)")
+		quiet       = flag.Bool("quiet", false, "suppress the per-update log lines")
+		upTO        = flag.Duration("upload-timeout", 0, "per-update deadline: clientID through ack (0 = no bound)")
 	)
 	flag.Parse()
 
@@ -49,67 +56,111 @@ func main() {
 			close(stop)
 		}()
 	}
-	if err := serve(*addr, *parallel, *maxConns, *updates, *upTO, *quiet, nil, stop, os.Stdout); err != nil {
+	o := serveOpts{
+		addr:          *addr,
+		metricsAddr:   *metricsAddr,
+		parallel:      *parallel,
+		maxConns:      *maxConns,
+		updates:       *updates,
+		uploadTimeout: *upTO,
+		quiet:         *quiet,
+		stop:          stop,
+		out:           os.Stdout,
+	}
+	if err := serve(o); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// serve runs the server until `updates` have been ingested (when > 0) or
-// stop closes. ready, when non-nil, receives the bound address once the
-// listener is up (the test hook for -addr :0).
-func serve(addr string, parallel, maxConns, updates int, uploadTimeout time.Duration, quiet bool, ready chan<- string, stop <-chan struct{}, out io.Writer) error {
+// serveOpts carries the wiring for one serve run. ready and metricsReady,
+// when non-nil, receive the bound addresses once the listeners are up (the
+// test hooks for ":0" addresses).
+type serveOpts struct {
+	addr          string
+	metricsAddr   string
+	parallel      int
+	maxConns      int
+	updates       int
+	uploadTimeout time.Duration
+	quiet         bool
+	ready         chan<- string
+	metricsReady  chan<- string
+	stop          <-chan struct{}
+	out           io.Writer
+}
+
+// serve runs the server until opts.updates have been ingested (when > 0)
+// or opts.stop closes.
+func serve(o serveOpts) error {
+	if o.metricsAddr != "" {
+		sched.RegisterMetrics(telemetry.Default())
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		hs := &http.Server{Handler: telemetry.NewHTTPHandler(telemetry.Default())}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Fprintf(o.out, "metrics on http://%s/metrics\n", ln.Addr())
+		if o.metricsReady != nil {
+			o.metricsReady <- ln.Addr().String()
+		}
+	}
+
 	var agg flserve.Aggregator
 	done := make(chan struct{})
 	var once sync.Once
 	var count atomic.Int64
-	// The handler runs concurrently across connections; outMu serializes
-	// the shared writer.
-	var outMu sync.Mutex
+	// slog serializes its own writes, so the handler needs no extra lock
+	// around the shared writer.
+	logger := slog.New(slog.NewTextHandler(o.out, nil))
 	handler := func(u flserve.Update) error {
 		if err := agg.Add(u); err != nil {
 			return err
 		}
-		if !quiet {
-			outMu.Lock()
-			fmt.Fprintf(out, "client %-6d %8d B wire   decode %-12v overlap %.2f\n",
-				u.Client, u.WireBytes, u.Stats.DecompressTime.Round(time.Microsecond), u.Stats.OverlapRatio())
-			outMu.Unlock()
+		if !o.quiet {
+			logger.Info("update",
+				slog.Uint64("client", uint64(u.Client)),
+				slog.String("remote", u.Remote),
+				slog.Int64("wire_bytes", u.WireBytes),
+				slog.Duration("decode", u.Stats.DecompressTime.Round(time.Microsecond)),
+				slog.Float64("overlap", u.Stats.OverlapRatio()))
 		}
-		if updates > 0 && count.Add(1) >= int64(updates) {
+		if o.updates > 0 && count.Add(1) >= int64(o.updates) {
 			once.Do(func() { close(done) })
 		}
 		return nil
 	}
-	srv, err := flserve.Listen(addr, flserve.Config{Parallel: parallel, MaxConns: maxConns, UploadTimeout: uploadTimeout, Handler: handler})
+	srv, err := flserve.Listen(o.addr, flserve.Config{Parallel: o.parallel, MaxConns: o.maxConns, UploadTimeout: o.uploadTimeout, Handler: handler})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fedsz-serve listening on %s (parallel=%d)\n", srv.Addr(), parallel)
-	if ready != nil {
-		ready <- srv.Addr().String()
+	fmt.Fprintf(o.out, "fedsz-serve listening on %s (parallel=%d)\n", srv.Addr(), o.parallel)
+	if o.ready != nil {
+		o.ready <- srv.Addr().String()
 	}
 	t0 := time.Now()
 	select {
 	case <-done:
-	case <-stop:
+	case <-o.stop:
 	}
 	wall := time.Since(t0)
 	if err := srv.Close(); err != nil {
 		return err
 	}
 
-	st := srv.Stats()
-	fmt.Fprintf(out, "\ningested %d update(s) (%d rejected), %.2f MB wire in %v\n",
+	st := srv.Snapshot()
+	fmt.Fprintf(o.out, "\ningested %d update(s) (%d rejected), %.2f MB wire in %v\n",
 		st.Updates, st.Rejected, float64(st.WireBytes)/1e6, wall.Round(time.Millisecond))
 	if wall > 0 && st.Updates > 0 {
-		fmt.Fprintf(out, "throughput: %.1f updates/s, %.1f MB/s wire\n",
+		fmt.Fprintf(o.out, "throughput: %.1f updates/s, %.1f MB/s wire\n",
 			float64(st.Updates)/wall.Seconds(), float64(st.WireBytes)/wall.Seconds()/1e6)
 	}
-	fmt.Fprintf(out, "decode work %v, read wait %v, overlap ratio %.2f\n",
+	fmt.Fprintf(o.out, "decode work %v, read wait %v, overlap ratio %.2f\n",
 		st.DecodeWork.Round(time.Microsecond), st.ReadWait.Round(time.Microsecond), st.OverlapRatio())
 	if mean, n := agg.Mean(); n > 0 {
-		fmt.Fprintf(out, "FedAvg mean over %d update(s): %d tensors, %d parameters\n",
+		fmt.Fprintf(o.out, "FedAvg mean over %d update(s): %d tensors, %d parameters\n",
 			n, mean.Len(), mean.NumParams())
 	}
 	return nil

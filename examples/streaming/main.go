@@ -15,8 +15,11 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -25,6 +28,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nn/models"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -64,6 +68,20 @@ func run() error {
 		updates[i] = sd
 	}
 	fmt.Printf("%d clients, %.2f MB raw updates\n", nClients, float64(rawBytes)/1e6)
+
+	// Every server and codec in the process reports into the default
+	// telemetry registry; one HTTP listener exposes it all. This is the
+	// same endpoint fedsz-serve -metrics-addr serves.
+	sched.RegisterMetrics(telemetry.Default())
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ms := &http.Server{Handler: telemetry.NewHTTPHandler(telemetry.Default())}
+	go ms.Serve(mln)
+	defer ms.Close()
+	scrapeURL := fmt.Sprintf("http://%s/metrics", mln.Addr())
+	fmt.Printf("metrics at %s (pprof at /debug/pprof/)\n", scrapeURL)
 
 	// The aggregation server: shared decode budget, incremental FedAvg,
 	// and a per-upload deadline so a stalled client cannot pin a round.
@@ -119,7 +137,7 @@ func run() error {
 		return err
 	}
 
-	st := srv.Stats()
+	st := srv.Snapshot()
 	meanEnc := 0.0
 	for _, r := range encOverlap {
 		meanEnc += r / nClients
@@ -128,8 +146,32 @@ func run() error {
 		st.Updates, float64(st.WireBytes)/1e6, ingestWall.Round(time.Millisecond),
 		float64(st.Updates)/ingestWall.Seconds())
 	fmt.Printf("client side: encode overlap %.2f (compress hidden behind send)\n", meanEnc)
-	fmt.Printf("server side: decode work %v hidden behind receive, overlap %.2f\n",
-		st.DecodeWork.Round(time.Microsecond), st.OverlapRatio())
+
+	// The server-side decode story now comes off the wire the way an
+	// operator would read it: scrape /metrics and pick the samples out of
+	// the exposition instead of reaching into Server internals.
+	resp, err := http.Get(scrapeURL)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	samples, err := telemetry.ParseText(body)
+	if err != nil {
+		return fmt.Errorf("parse /metrics: %w", err)
+	}
+	dCount, ok1 := telemetry.FindSample(samples, "fedsz_server_decode_seconds_count")
+	dSum, ok2 := telemetry.FindSample(samples, "fedsz_server_decode_seconds_sum")
+	if !ok1 || !ok2 || dCount.Value == 0 {
+		return fmt.Errorf("scrape missing fedsz_server_decode_seconds (count ok=%v sum ok=%v)", ok1, ok2)
+	}
+	meanDecode := time.Duration(dSum.Value / dCount.Value * float64(time.Second))
+	oSum, _ := telemetry.FindSample(samples, "fedsz_server_overlap_ratio_sum")
+	fmt.Printf("server side (scraped): %d decodes, mean %v each, overlap %.2f\n",
+		int(dCount.Value), meanDecode.Round(time.Microsecond), oSum.Value/dCount.Value)
 
 	// Verify: the streamed FedAvg mean must match the mean of in-memory
 	// compress + decode of the same updates through the same codec.

@@ -211,6 +211,7 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 		stats.EncodeWork = time.Duration(encodeWork.Load())
 		stats.CompressTime = time.Since(start)
 		stats.BytesRecycled = sched.RecycledBytes() - recycled0
+		stageFor(o.Lossy.Name()).encode.Observe(stats.CompressTime.Seconds())
 		return stats, nil
 	}
 

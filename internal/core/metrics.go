@@ -1,0 +1,49 @@
+package core
+
+// Pipeline stage timers: one encode and one decode latency histogram per
+// lossy codec, registered lazily on telemetry.Default() the first time a
+// codec is seen. The lookup is a plain map behind an RWMutex — a read-lock
+// map hit boxes nothing, so the steady-state cost per encode/decode call
+// is one RLock and one Observe (both allocation-free).
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+type stageHists struct {
+	encode *telemetry.Histogram
+	decode *telemetry.Histogram
+}
+
+var (
+	stageMu sync.RWMutex
+	stages  = map[string]*stageHists{}
+)
+
+// stageFor returns the encode/decode histograms labeled with codec.
+func stageFor(codec string) *stageHists {
+	stageMu.RLock()
+	h := stages[codec]
+	stageMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	if h := stages[codec]; h != nil {
+		return h
+	}
+	r := telemetry.Default()
+	h = &stageHists{
+		encode: r.Histogram("fedsz_encode_seconds",
+			"Full-statedict encode wall time, by lossy codec.",
+			telemetry.DurationBuckets, telemetry.L("codec", codec)),
+		decode: r.Histogram("fedsz_decode_seconds",
+			"Full-statedict decode wall time, by lossy codec.",
+			telemetry.DurationBuckets, telemetry.L("codec", codec)),
+	}
+	stages[codec] = h
+	return h
+}

@@ -503,8 +503,10 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	}
 	poolHits1, poolMisses1 := sched.BytePoolCounters()
 	floatHits1, floatMisses1 := sched.FloatPoolCounters()
+	elapsed := time.Since(start)
+	stageFor(lossyName).decode.Observe(elapsed.Seconds())
 	return out, &DecompressStats{
-		DecompressTime:  time.Since(start),
+		DecompressTime:  elapsed,
 		ReadWait:        src.wait(),
 		DecodeWork:      time.Duration(decodeWork.Load()),
 		PoolHits:        poolHits1 - poolHits0,

@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nn"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -482,6 +483,10 @@ type Federation struct {
 	Test      *dataset.Dataset
 	EvalBatch int
 
+	// Tracer, when non-nil, receives one "round" summary event per
+	// RunRound with the loss/accuracy/bytes/phase-duration breakdown.
+	Tracer *telemetry.Tracer
+
 	// acc is the FedAvg accumulator, pooled on first use and rezeroed in
 	// place every subsequent round (LoadStateDict copies out of it, so
 	// holding it across rounds is safe).
@@ -637,6 +642,19 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 	t0 = time.Now()
 	res.Accuracy = f.Evaluate()
 	res.Timings.Validate = time.Since(t0)
+	f.Tracer.Event("round",
+		telemetry.A("round", res.Round),
+		telemetry.A("transport", f.Transport.Name()),
+		telemetry.A("loss", res.Loss),
+		telemetry.A("accuracy", res.Accuracy),
+		telemetry.A("raw_bytes", res.RawBytes),
+		telemetry.A("wire_bytes", res.WireBytes),
+		telemetry.A("train_us", res.Timings.Train.Microseconds()),
+		telemetry.A("compress_us", res.Timings.Compress.Microseconds()),
+		telemetry.A("decompress_us", res.Timings.Decompress.Microseconds()),
+		telemetry.A("decompress_wall_us", res.Timings.DecompressWall.Microseconds()),
+		telemetry.A("validate_us", res.Timings.Validate.Microseconds()),
+	)
 	return res, nil
 }
 

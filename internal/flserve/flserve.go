@@ -52,10 +52,12 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/wire"
 )
@@ -70,6 +72,10 @@ const (
 type Update struct {
 	// Client is the ID the uploader sent in its connection prelude.
 	Client uint32
+	// Remote is the uploading connection's remote address — the attribute
+	// that lets handler logs and trace events correlate an update with its
+	// connection.
+	Remote string
 	// State is the decoded state dict; the handler takes ownership.
 	State *tensor.StateDict
 	// WireBytes counts the bytes this update occupied on the wire: its
@@ -107,12 +113,19 @@ type Config struct {
 	// the per-update context deadline: blocked reads are cut at the
 	// deadline and in-flight decode workers for that update exit early.
 	UploadTimeout time.Duration
+	// Tracer, when non-nil, receives one span per connection and one event
+	// per update — the per-connection timeline complementing the
+	// aggregated metrics the server always publishes on
+	// telemetry.Default().
+	Tracer *telemetry.Tracer
 }
 
 // defaultIdleTimeout is Config.IdleTimeout's zero-value default.
 const defaultIdleTimeout = 2 * time.Minute
 
-// Stats aggregates what a Server has ingested so far.
+// Stats aggregates what a Server has ingested so far. Obtain one from
+// Server.Snapshot (atomics-backed, safe to call while connections are
+// live).
 type Stats struct {
 	// Updates counts successfully decoded, handled updates.
 	Updates int
@@ -158,9 +171,18 @@ type Server struct {
 	sem  chan struct{}
 	wg   sync.WaitGroup
 
-	mu     sync.Mutex
-	stats  Stats
-	closed bool
+	closed atomic.Bool
+
+	// Ingest counters, all atomic so Snapshot (and a /metrics scrape
+	// rendering the shared telemetry families) never contends with — or
+	// races — the per-connection goroutines updating them.
+	updates       atomic.Int64
+	rejected      atomic.Int64
+	wireBytes     atomic.Int64
+	readWaitNS    atomic.Int64
+	decodeWorkNS  atomic.Int64
+	wallNS        atomic.Int64
+	bytesRecycled atomic.Uint64
 }
 
 // Listen starts a server on a TCP address ("127.0.0.1:0" picks a free
@@ -193,6 +215,7 @@ func Serve(ln net.Listener, cfg Config) *Server {
 		pool: sched.NewPool(cfg.Parallel),
 		sem:  make(chan struct{}, cfg.MaxConns),
 	}
+	metrics().maxConns.Set(float64(cfg.MaxConns))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -201,34 +224,40 @@ func Serve(ln net.Listener, cfg Config) *Server {
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Stats returns a snapshot of the ingest counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+// Snapshot returns a point-in-time copy of the ingest counters. Every
+// field is read atomically, so calling it while connections are live —
+// the situation of a /metrics scrape against a serving process — is
+// race-free; the fields are not one consistent cut (an update folding
+// mid-read may be counted in Updates but not yet in WireBytes), which a
+// monitoring read tolerates by construction.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		Updates:       int(s.updates.Load()),
+		Rejected:      int(s.rejected.Load()),
+		WireBytes:     s.wireBytes.Load(),
+		ReadWait:      time.Duration(s.readWaitNS.Load()),
+		DecodeWork:    time.Duration(s.decodeWorkNS.Load()),
+		Wall:          time.Duration(s.wallNS.Load()),
+		BytesRecycled: s.bytesRecycled.Load(),
+	}
 }
+
+// Stats returns a snapshot of the ingest counters (alias of Snapshot).
+func (s *Server) Stats() Stats { return s.Snapshot() }
 
 // Close stops accepting, waits for in-flight connections to finish, and
 // returns the listener's close error, if any.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		s.wg.Wait()
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
 
-func (s *Server) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Server) isClosed() bool { return s.closed.Load() }
 
 // acceptLoop admits connections under the MaxConns bound: the slot is
 // taken before Accept, so the listener's backlog — not server memory —
@@ -248,14 +277,28 @@ func (s *Server) acceptLoop() {
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}
+		m := metrics()
+		m.connsAccepted.Inc()
+		m.connsActive.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() { <-s.sem }()
+			defer m.connsActive.Dec()
 			s.handleConn(conn)
 		}()
 	}
 }
+
+// timeoutKind classifies which bound cut a connection, for the
+// fedsz_server_timeout_kills_total metric.
+type timeoutKind uint8
+
+const (
+	timeoutNone timeoutKind = iota
+	timeoutIdle
+	timeoutUpload
+)
 
 // connReader refreshes the idle deadline before each read, so only a
 // connection that stops delivering bytes for the whole timeout gets
@@ -265,22 +308,37 @@ type connReader struct {
 	conn     net.Conn
 	idle     time.Duration
 	deadline time.Time
+	// timedOut records which bound was armed when a read failed with a
+	// timeout — by the time the failure surfaces from the decoder the
+	// net.Error has been flattened into a corruption message, so the
+	// classification must be captured here at the Read.
+	timedOut timeoutKind
 }
 
 func (c *connReader) Read(p []byte) (int, error) {
 	var d time.Time
+	armed := timeoutNone
 	if c.idle > 0 {
 		d = time.Now().Add(c.idle)
+		armed = timeoutIdle
 	}
 	if !c.deadline.IsZero() && (d.IsZero() || c.deadline.Before(d)) {
 		d = c.deadline
+		armed = timeoutUpload
 	}
 	if !d.IsZero() {
 		if err := c.conn.SetReadDeadline(d); err != nil {
 			return 0, err
 		}
 	}
-	return c.conn.Read(p)
+	n, err := c.conn.Read(p)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			c.timedOut = armed
+		}
+	}
+	return n, err
 }
 
 // handleConn serves one connection's update loop: magic once, then any
@@ -290,16 +348,35 @@ func (c *connReader) Read(p []byte) (int, error) {
 // timeout.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	remote := conn.RemoteAddr().String()
+	m := metrics()
+	updates, rejected := 0, 0
+	span := s.cfg.Tracer.Span("conn", telemetry.A("remote", remote))
+	defer func() {
+		// recordTimeout: whichever bound cut the connection is known only
+		// after the update loop ends.
+		span.End(telemetry.A("updates", updates), telemetry.A("rejected", rejected))
+	}()
 	cr := &connReader{conn: conn, idle: s.cfg.IdleTimeout}
+	defer func() {
+		switch cr.timedOut {
+		case timeoutIdle:
+			m.idleKills.Inc()
+		case timeoutUpload:
+			m.uploadKills.Inc()
+		}
+	}()
 	br := bufio.NewReaderSize(cr, 32<<10)
 
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		s.reject(conn, fmt.Errorf("%w: connection magic: %v", core.ErrCorrupt, err))
+		rejected++
+		s.rejectConn(conn, fmt.Errorf("%w: connection magic: %v", core.ErrCorrupt, err))
 		return
 	}
 	if binary.LittleEndian.Uint32(magic[:]) != connMagic {
-		s.reject(conn, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt))
+		rejected++
+		s.rejectConn(conn, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt))
 		return
 	}
 
@@ -310,7 +387,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err != io.EOF {
 				// Mid-record death (truncated ID, idle timeout): the peer did
 				// not end the connection at an update boundary.
-				s.reject(conn, fmt.Errorf("%w: update prelude: %v", core.ErrCorrupt, err))
+				rejected++
+				s.rejectConn(conn, fmt.Errorf("%w: update prelude: %v", core.ErrCorrupt, err))
 			}
 			return
 		}
@@ -328,6 +406,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		cr.deadline = time.Time{}
 
 		if err == nil {
+			u.Remote = remote
 			u.WireBytes += int64(len(idb))
 			if first {
 				u.WireBytes += int64(len(magic))
@@ -335,18 +414,34 @@ func (s *Server) handleConn(conn net.Conn) {
 			err = s.cfg.Handler(*u)
 		}
 		first = false
-		s.mu.Lock()
 		if err != nil {
-			s.stats.Rejected++
+			rejected++
+			s.rejected.Add(1)
+			m.updatesRejected.Inc()
 		} else {
-			s.stats.Updates++
-			s.stats.WireBytes += u.WireBytes
-			s.stats.ReadWait += u.Stats.ReadWait
-			s.stats.DecodeWork += u.Stats.DecodeWork
-			s.stats.Wall += time.Since(start)
-			s.stats.BytesRecycled += u.Stats.BytesRecycled
+			wall := time.Since(start)
+			updates++
+			s.updates.Add(1)
+			s.wireBytes.Add(u.WireBytes)
+			s.readWaitNS.Add(int64(u.Stats.ReadWait))
+			s.decodeWorkNS.Add(int64(u.Stats.DecodeWork))
+			s.wallNS.Add(int64(wall))
+			s.bytesRecycled.Add(u.Stats.BytesRecycled)
+			m.updates.Inc()
+			m.wireBytes.Add(uint64(u.WireBytes))
+			m.wireHist.Observe(float64(u.WireBytes))
+			m.decodeHist.Observe(u.Stats.DecompressTime.Seconds())
+			m.overlapHist.Observe(u.Stats.OverlapRatio())
+			s.cfg.Tracer.Event("update",
+				telemetry.A("client", client),
+				telemetry.A("remote", remote),
+				telemetry.A("wire_bytes", u.WireBytes),
+				telemetry.A("decode_us", u.Stats.DecompressTime.Microseconds()),
+				telemetry.A("read_wait_us", u.Stats.ReadWait.Microseconds()),
+				telemetry.A("wall_us", wall.Microseconds()),
+				telemetry.A("overlap", u.Stats.OverlapRatio()),
+			)
 		}
-		s.mu.Unlock()
 		writeAck(conn, err)
 		if err != nil {
 			return
@@ -354,11 +449,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// reject accounts and acks a connection-level failure.
-func (s *Server) reject(conn net.Conn, err error) {
-	s.mu.Lock()
-	s.stats.Rejected++
-	s.mu.Unlock()
+// rejectConn accounts and acks a connection-level failure.
+func (s *Server) rejectConn(conn net.Conn, err error) {
+	s.rejected.Add(1)
+	metrics().connsRejected.Inc()
 	writeAck(conn, err)
 }
 

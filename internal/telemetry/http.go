@@ -1,0 +1,34 @@
+package telemetry
+
+// HTTP surface: the handler a deployed fedsz-serve mounts on its
+// -metrics-addr listener — Prometheus scrapes on /metrics, liveness on
+// /healthz, and the runtime profiler under /debug/pprof/ so a server
+// misbehaving under load can be profiled in place.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHTTPHandler returns a handler serving reg as Prometheus text on
+// /metrics, "ok" on /healthz, and the net/http/pprof suite under
+// /debug/pprof/. Mount it on a listener separate from the ingest port —
+// the observability plane should not share fate (or auth posture) with
+// the data plane.
+func NewHTTPHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck — a dead scraper is its problem
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

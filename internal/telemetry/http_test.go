@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "demo").Add(3)
+	srv := httptest.NewServer(NewHTTPHandler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "demo_total 3\n") {
+		t.Fatalf("/metrics missing sample:\n%s", body)
+	}
+	if _, err := ParseText([]byte(body)); err != nil {
+		t.Fatalf("/metrics body does not parse: %v", err)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+	code, _, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+// Trace events: a JSONL timeline of what a run did, at the granularity
+// metrics aggregate away — one line per connection, per update, per
+// round. Timestamps are monotonic-clock offsets from the tracer's start
+// (the time.Time the tracer captures carries Go's monotonic reading, so
+// spans are immune to wall-clock steps), serialized in microseconds.
+//
+// Event lines look like:
+//
+//	{"t_us":1042,"event":"update","client":3,"wire_bytes":18231,"decode_us":912,"overlap":0.87}
+//	{"t_us":52,"event":"conn","dur_us":20731,"remote":"127.0.0.1:51124","updates":4}
+//
+// "t_us", "event", and "dur_us" are reserved keys; attribute keys must
+// not collide with them. Spans carry t_us of their start and dur_us of
+// their duration, so a timeline viewer can lay them out without pairing
+// begin/end records.
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute on a trace event. Values are serialized
+// with encoding/json; keep them to strings, numbers, and bools.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer writes trace events to one io.Writer, each event a complete JSON
+// line. Methods are safe for concurrent use; a nil *Tracer drops
+// everything, so instrumented code calls unconditionally.
+type Tracer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	base time.Time
+	err  error
+}
+
+// NewTracer returns a tracer emitting to w. The caller retains ownership
+// of w (close it after the run; the tracer never does).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, base: time.Now()}
+}
+
+// Err returns the first write error the tracer hit (events after an error
+// are dropped), or nil.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event emits one instantaneous event.
+func (t *Tracer) Event(event string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(event, time.Now(), -1, attrs)
+}
+
+// Span starts a timed span; call End on the result to emit it. The
+// returned span's event line carries the start offset and the duration.
+// A span from a nil tracer is nil and End on it is a no-op.
+func (t *Tracer) Span(event string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, event: event, start: time.Now(), attrs: attrs}
+}
+
+// Span is one in-progress timed region.
+type Span struct {
+	t     *Tracer
+	event string
+	start time.Time
+	attrs []Attr
+}
+
+// End emits the span with its measured duration, appending any extra
+// attributes to those given at Span start. Safe on a nil span.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = append(append([]Attr{}, s.attrs...), attrs...)
+	}
+	s.t.emit(s.event, s.start, time.Since(s.start), all)
+}
+
+// emit serializes one line. dur < 0 means "no dur_us field".
+func (t *Tracer) emit(event string, start time.Time, dur time.Duration, attrs []Attr) {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"t_us":`...)
+	buf = appendInt(buf, start.Sub(t.base).Microseconds())
+	buf = append(buf, `,"event":`...)
+	buf = appendJSON(buf, event)
+	if dur >= 0 {
+		buf = append(buf, `,"dur_us":`...)
+		buf = appendInt(buf, dur.Microseconds())
+	}
+	for _, a := range attrs {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, a.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, a.Value)
+	}
+	buf = append(buf, '}', '\n')
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+	}
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// appendJSON marshals v onto dst, substituting null for unmarshalable
+// values (a trace must never fail the traced operation).
+func appendJSON(dst []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return append(dst, "null"...)
+	}
+	return append(dst, b...)
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerEventsAndSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Event("hello", A("client", 7), A("addr", "127.0.0.1:1"), A("ok", true))
+	sp := tr.Span("work", A("phase", "decode"))
+	time.Sleep(2 * time.Millisecond)
+	sp.End(A("bytes", 1024))
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	ev := lines[0]
+	if ev["event"] != "hello" || ev["client"] != float64(7) || ev["addr"] != "127.0.0.1:1" || ev["ok"] != true {
+		t.Fatalf("event line wrong: %v", ev)
+	}
+	if _, hasDur := ev["dur_us"]; hasDur {
+		t.Fatal("instant event has dur_us")
+	}
+	span := lines[1]
+	if span["event"] != "work" || span["phase"] != "decode" || span["bytes"] != float64(1024) {
+		t.Fatalf("span line wrong: %v", span)
+	}
+	if d := span["dur_us"].(float64); d < 1000 {
+		t.Fatalf("span dur_us = %v, want >= 1000 (slept 2 ms)", d)
+	}
+	// Span t_us is the span's start, which precedes its end-time emission.
+	if span["t_us"].(float64) < ev["t_us"].(float64) {
+		t.Fatalf("span started before the earlier event: %v < %v", span["t_us"], ev["t_us"])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Event("dropped")
+	tr.Span("dropped").End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestTracerStopsAfterWriteError(t *testing.T) {
+	w := &failWriter{}
+	tr := NewTracer(w)
+	tr.Event("one")
+	tr.Event("two")
+	if w.n != 1 {
+		t.Fatalf("writer called %d times, want 1 (events after an error must drop)", w.n)
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err() lost the write error")
+	}
+}
+
+func TestTracerConcurrentLinesStayWhole(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Event("e", A("g", g), A("i", i), A("pad", strings.Repeat("x", 64)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := decodeLines(t, &buf)
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d intact lines, want %d", len(lines), 8*200)
+	}
+}
