@@ -1,0 +1,105 @@
+package main
+
+// Delta-ratio leg of the perf snapshot: a 12-round FedAvg sim on the
+// fl test fixture (seed 42), with every client update compressed twice —
+// absolute (v2) and residual against the round's broadcast global (v3) —
+// so the snapshot records bytes-per-round for both paths and the reduction
+// the cross-round delta mode buys. The baseline check gates the reduction:
+// once a committed baseline records delta_reduction, later sessions may not
+// let it fall below deltaReductionFloor.
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ebcl"
+	"repro/internal/fl"
+	"repro/internal/nn/models"
+	"repro/internal/tensor"
+)
+
+// deltaReductionFloor is the acceptance bar for the delta mode: residual
+// streams must cut bytes-per-round by at least this fraction versus
+// absolute streams on the convergence fixture.
+const deltaReductionFloor = 0.25
+
+// deltaRatioRounds/deltaRatioSeed pin the sim to the fl package's 12-round
+// seed-42 convergence fixture so the snapshot numbers and the test-suite
+// behaviour describe the same run.
+const (
+	deltaRatioRounds = 12
+	deltaRatioSeed   = 42
+)
+
+// measureDeltaRatio trains the fixture federation and accounts both
+// encodings of every client update, filling the delta_* derived metrics.
+func measureDeltaRatio(prog io.Writer, snap *perfSnapshot) error {
+	const nClients = 4
+	cfg, err := dataset.ScaledConfig("cifar10", 12, 192, 64, deltaRatioSeed)
+	if err != nil {
+		return err
+	}
+	train, _ := dataset.Generate(cfg)
+	shards := dataset.ShardIID(train, nClients, deltaRatioSeed)
+	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	rng := rand.New(rand.NewPCG(deltaRatioSeed, 1))
+	global, err := models.BuildMini("alexnet", rng, in)
+	if err != nil {
+		return err
+	}
+	clients := make([]*fl.Client, nClients)
+	for i := range clients {
+		crng := rand.New(rand.NewPCG(deltaRatioSeed, uint64(i)+10))
+		net, err := models.BuildMini("alexnet", crng, in)
+		if err != nil {
+			return err
+		}
+		clients[i] = fl.NewClient(i, net, shards[i], 16, 0.02, deltaRatioSeed)
+	}
+
+	opts := core.Options{LossyParams: ebcl.Rel(1e-2)}
+	absBytes, deltaBytes := 0, 0
+	var acc *tensor.StateDict
+	t0 := time.Now()
+	for round := 0; round < deltaRatioRounds; round++ {
+		gsd := global.StateDict()
+		acc = gsd.ZeroInto(acc)
+		for _, c := range clients {
+			if err := c.Net.LoadStateDict(gsd); err != nil {
+				return err
+			}
+			c.TrainEpochs(1)
+			sd := c.Net.StateDict()
+			absStream, _, err := core.Compress(sd, opts)
+			if err != nil {
+				return err
+			}
+			absBytes += len(absStream)
+			dOpts := opts
+			dOpts.Reference, dOpts.RefEpoch = gsd, uint32(round+1)
+			dStream, _, err := core.Compress(sd, dOpts)
+			if err != nil {
+				return err
+			}
+			deltaBytes += len(dStream)
+			if err := acc.AddScaled(sd, 1/float32(nClients)); err != nil {
+				return err
+			}
+		}
+		if err := global.LoadStateDict(acc); err != nil {
+			return err
+		}
+	}
+	reduction := 1 - float64(deltaBytes)/float64(absBytes)
+	snap.Derived["delta_abs_bytes_per_round"] = float64(absBytes) / deltaRatioRounds
+	snap.Derived["delta_bytes_per_round"] = float64(deltaBytes) / deltaRatioRounds
+	snap.Derived["delta_reduction"] = reduction
+	fmt.Fprintf(prog, "%-28s %12.0f B/round abs %10.0f B/round delta  (%.1f%% saved, %d rounds in %v)\n",
+		"delta_ratio", float64(absBytes)/deltaRatioRounds, float64(deltaBytes)/deltaRatioRounds,
+		100*reduction, deltaRatioRounds, time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -157,6 +157,14 @@ func checkPerfBaseline(snap *perfSnapshot, baselinePath string) error {
 			return fmt.Errorf("perf baseline: derived %q = %v not finite", k, v)
 		}
 	}
+	// Delta-mode gate: a baseline that records the cross-round reduction
+	// pins it — bytes-per-round with residual streams must stay at least
+	// deltaReductionFloor below absolute streams on the fixture.
+	if _, ok := base.Derived["delta_reduction"]; ok {
+		if r := snap.Derived["delta_reduction"]; r < deltaReductionFloor {
+			return fmt.Errorf("perf baseline: delta_reduction %.3f below the %.2f floor", r, deltaReductionFloor)
+		}
+	}
 	return nil
 }
 
@@ -326,6 +334,12 @@ func runPerfSnapshot(w io.Writer, outPath, baselinePath string) error {
 			}
 			sched.PutFloats(dst)
 		})
+	}
+
+	// Cross-round delta mode: bytes-per-round absolute vs residual on the
+	// 12-round convergence fixture.
+	if err := measureDeltaRatio(prog, snap); err != nil {
+		return err
 	}
 
 	poolHits1, poolMisses1 := sched.BytePoolCounters()

@@ -237,6 +237,31 @@ func (c *Codec) CompressTo(ctx context.Context, w io.Writer, sd *StateDict) (*St
 	return core.CompressToWith(ctx, c.pool, w, sd, c.opts)
 }
 
+// CompressDelta runs the pipeline with ref as the cross-round baseline:
+// the emitted stream uses the v3 delta format, encoding each lossy tensor
+// as the residual sd − ref when that wins and falling back to absolute
+// per tensor otherwise. epoch tags the stream so DecompressDelta can verify
+// both ends agree on the baseline. The error contract is unchanged: a REL
+// bound is resolved against each original tensor's value range before the
+// residual is encoded, so reconstruction error on the original data stays
+// within the configured bound. internal/delta.Codec layers reference
+// retention and epoch management on top of this call.
+func (c *Codec) CompressDelta(ctx context.Context, sd, ref *StateDict, epoch uint32) ([]byte, *Stats, error) {
+	opts := c.opts
+	opts.Reference, opts.RefEpoch = ref, epoch
+	return core.CompressWith(ctx, c.pool, sd, opts)
+}
+
+// DecompressDelta reverses CompressDelta against the same reference and
+// epoch. Absolute (v1/v2) streams decode exactly as Decompress would; a v3
+// stream whose residual sections cannot be reconstructed here — nil ref,
+// epoch mismatch, or a reference missing a tensor — fails with
+// core.ErrReference (distinct from ErrCorrupt, so callers can renegotiate
+// an absolute exchange).
+func (c *Codec) DecompressDelta(ctx context.Context, stream []byte, ref *StateDict, epoch uint32) (*StateDict, *DecompressStats, error) {
+	return core.DecompressOpts(ctx, c.pool, stream, core.DecodeOptions{Reference: ref, RefEpoch: epoch})
+}
+
 // CompressAll compresses many client state dicts with the codec's one
 // parallelism budget shared across the whole batch. Output i is
 // bit-identical to Compress(sds[i]).

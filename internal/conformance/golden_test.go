@@ -2,6 +2,8 @@ package conformance
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,11 +60,35 @@ func goldenDict(nonFinite bool) *tensor.StateDict {
 	return sd
 }
 
+// goldenDeltaEpoch tags the v3 delta corpus; decoders must present the
+// same epoch to reconstruct it.
+const goldenDeltaEpoch = 7
+
+// goldenDeltaRef is the cross-round reference the v3 delta corpus encodes
+// against: the golden dict itself plays round t, and the update (round t+1)
+// is a small deterministic drift away — the temporally correlated regime
+// the delta format exists for.
+func goldenDeltaRef() *tensor.StateDict { return goldenDict(false) }
+
+func goldenDeltaDict() *tensor.StateDict {
+	sd := goldenDict(false)
+	rng := rand.New(rand.NewPCG(2026, 808))
+	for _, e := range sd.Entries() {
+		for i := range e.Tensor.Data {
+			e.Tensor.Data[i] += float32(0.002 * rng.NormFloat64())
+		}
+	}
+	return sd
+}
+
 type goldenCase struct {
 	name      string
 	lossy     string
 	params    ebcl.Params
 	nonFinite bool
+	// delta encodes the case against goldenDeltaRef at goldenDeltaEpoch —
+	// the v3 cross-round residual format.
+	delta bool
 	// version is the stream-format version byte the checked-in .fsz must
 	// carry. frozen cases were written by an older encoder and are never
 	// regenerated — -update must not replace a v1 artifact with whatever
@@ -107,6 +133,16 @@ func goldenCases() []goldenCase {
 			nonFinite: true,
 			version:   2,
 		})
+		// v3 corpus: cross-round delta format — residual sections against
+		// the retained reference, per-tensor mode bytes, epoch-tagged
+		// header.
+		cases = append(cases, goldenCase{
+			name:    fmt.Sprintf("v3_rel1e-2_delta_%s", lossy),
+			lossy:   lossy,
+			params:  ebcl.Rel(1e-2),
+			version: 3,
+			delta:   true,
+		})
 	}
 	return cases
 }
@@ -123,11 +159,18 @@ func regenerate(t *testing.T, gc goldenCase) {
 		t.Fatal(err)
 	}
 	sd := goldenDict(gc.nonFinite)
-	stream, _, err := core.Compress(sd, core.Options{Lossy: lossy, LossyParams: gc.params})
+	opts := core.Options{Lossy: lossy, LossyParams: gc.params}
+	var dopts core.DecodeOptions
+	if gc.delta {
+		sd = goldenDeltaDict()
+		opts.Reference, opts.RefEpoch = goldenDeltaRef(), goldenDeltaEpoch
+		dopts = core.DecodeOptions{Reference: goldenDeltaRef(), RefEpoch: goldenDeltaEpoch}
+	}
+	stream, _, err := core.Compress(sd, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	decoded, _, err := core.Decompress(stream)
+	decoded, _, err := core.DecompressOpts(context.Background(), nil, stream, dopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +217,18 @@ func TestGoldenStreams(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			var dopts core.DecodeOptions
+			if gc.delta {
+				dopts = core.DecodeOptions{Reference: goldenDeltaRef(), RefEpoch: goldenDeltaEpoch}
+				// Without the reference the residual sections must fail with
+				// the renegotiation sentinel, never decode to wrong bytes.
+				if _, _, err := core.Decompress(stream); !errors.Is(err, core.ErrReference) {
+					t.Fatalf("delta stream without reference: %v, want ErrReference", err)
+				}
+			}
+
 			// The checked-in stream must decode byte-for-byte.
-			sd, _, err := core.Decompress(stream)
+			sd, _, err := core.DecompressOpts(context.Background(), nil, stream, dopts)
 			if err != nil {
 				t.Fatalf("golden stream no longer decodes: %v", err)
 			}
@@ -193,7 +246,7 @@ func TestGoldenStreams(t *testing.T) {
 			if !bytes.Equal(payload, stream) {
 				t.Fatal("wire payload differs from the golden stream — the wire format drifted")
 			}
-			wsd, _, err := core.DecompressFrom(bytes.NewReader(payload))
+			wsd, _, err := core.DecompressFromOpts(context.Background(), nil, bytes.NewReader(payload), dopts)
 			if err != nil {
 				t.Fatal(err)
 			}

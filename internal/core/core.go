@@ -36,23 +36,41 @@ const (
 	// streamVersion (v2) marks streams whose quantization-code blobs may use
 	// the multi-stream Huffman layout and whose tensor sections carry
 	// fixed-width (padded-uvarint) length prefixes. This is what the encoder
-	// emits.
+	// emits for absolute (reference-free) streams.
 	streamVersion = 2
+	// streamVersionV3 marks cross-round delta streams: the header carries the
+	// reference epoch and every tensor section carries a mode byte selecting
+	// absolute or residual encoding. The encoder emits v3 only when
+	// Options.Reference is set, so absolute streams stay bit-identical to v2.
+	streamVersionV3 = 3
 
 	pathLossless = 0
 	pathLossy    = 1
+
+	// Tensor-section mode bytes (v3 streams only).
+	sectionAbsolute = 0
+	sectionDelta    = 1
 )
 
 // supportedStreamVersion reports whether the decoder understands version v.
-// Both v1 and v2 remain fully decodable: the entropy layer self-describes
-// its blob format and section length prefixes use uvarint semantics either
-// way, so one decode path serves both.
+// v1 and v2 remain fully decodable: the entropy layer self-describes its
+// blob format and section length prefixes use uvarint semantics either way,
+// so one decode path serves all three versions — v3 only adds the reference
+// epoch and per-section mode byte.
 func supportedStreamVersion(v byte) bool {
-	return v == streamVersionV1 || v == streamVersion
+	return v == streamVersionV1 || v == streamVersion || v == streamVersionV3
 }
 
 // ErrCorrupt is returned for malformed FedSZ bitstreams.
 var ErrCorrupt = errors.New("core: corrupt FedSZ stream")
+
+// ErrReference marks a delta (v3) stream the decoder cannot reconstruct
+// here: it holds no reference state dict, holds one for a different epoch,
+// or the reference lacks a tensor the stream encodes as a residual. The
+// stream itself is well-formed — deliberately distinct from ErrCorrupt so a
+// transport can respond by renegotiating an absolute upload instead of
+// treating the peer as broken.
+var ErrReference = errors.New("core: delta reference unavailable or mismatched")
 
 // DefaultThreshold is Algorithm 1's size gate: weight tensors with at least
 // this many elements take the lossy path.
@@ -74,6 +92,19 @@ type Options struct {
 	// DisablePartitioning routes *every* tensor through the lossy path —
 	// the ablation the paper warns causes "extreme degradation" (§V-C).
 	DisablePartitioning bool
+	// Reference, when non-nil, switches the encoder to the v3 cross-round
+	// delta format: each lossy tensor with a same-named, same-sized entry in
+	// the reference is compressed as the residual update − reference when
+	// that wins (per-section fallback to absolute otherwise), and the stream
+	// header records RefEpoch so the decoder can verify it reconstructs
+	// against the same baseline. A REL bound is resolved against the
+	// original tensor's value range before the residual is encoded, so the
+	// documented error contract holds on the original data.
+	Reference *tensor.StateDict
+	// RefEpoch tags the v3 stream with the reference's epoch (ignored when
+	// Reference is nil). Decoders refuse residual sections whose epoch does
+	// not match their own reference (ErrReference).
+	RefEpoch uint32
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +138,16 @@ type Stats struct {
 	LosslessTensors    int
 	LosslessRaw        int
 	LosslessCompressed int
+
+	// DeltaTensors counts lossy tensors whose emitted section is a
+	// cross-round residual (always 0 outside v3 delta streams); the
+	// remaining LossyTensors − DeltaTensors sections fell back to absolute
+	// encoding.
+	DeltaTensors int
+	// DeltaBytesSaved totals the bytes the chosen residual sections saved
+	// over their absolute candidates — the per-call slice of the
+	// fedsz_delta_bytes_saved telemetry counter.
+	DeltaBytesSaved int
 
 	// CompressTime is the wall clock of the whole encode, including time
 	// spent blocked writing when streaming through CompressTo.
@@ -223,6 +264,23 @@ type DecompressStats struct {
 	// the sched pools (blob scratch, entropy-stage tables, lossless-stage
 	// payloads) instead of dropping to the garbage collector.
 	BytesRecycled uint64
+	// DeltaTensors counts tensor sections reconstructed as residual + the
+	// supplied reference (always 0 for v1/v2 streams).
+	DeltaTensors int
+}
+
+// DecodeOptions configures reference-aware (v3 delta) decoding. The zero
+// value decodes absolute streams exactly as before; a v3 stream whose
+// residual sections cannot be reconstructed with the supplied reference
+// fails with ErrReference.
+type DecodeOptions struct {
+	// Reference is the baseline state dict residual sections add back onto;
+	// nil refuses every residual section.
+	Reference *tensor.StateDict
+	// RefEpoch is the epoch Reference corresponds to; residual sections in
+	// streams tagged with a different epoch are refused (the sender encoded
+	// against a baseline this decoder does not hold).
+	RefEpoch uint32
 }
 
 // OverlapRatio reports the fraction of decode work hidden behind the rest
@@ -257,7 +315,14 @@ func Decompress(stream []byte) (*tensor.StateDict, *DecompressStats, error) {
 // the batch server's hot path pays no receive buffering. Cancelling ctx
 // stops the decode at the next section boundary and returns ctx.Err().
 func DecompressWith(ctx context.Context, pool *sched.Pool, stream []byte) (*tensor.StateDict, *DecompressStats, error) {
-	return decompressSource(ctx, pool, &byteSource{data: stream})
+	return decompressSource(ctx, pool, &byteSource{data: stream}, DecodeOptions{})
+}
+
+// DecompressOpts is DecompressWith with reference-aware decoding: v3 delta
+// streams reconstruct residual sections against o.Reference (see
+// DecodeOptions). v1/v2 streams ignore o entirely.
+func DecompressOpts(ctx context.Context, pool *sched.Pool, stream []byte, o DecodeOptions) (*tensor.StateDict, *DecompressStats, error) {
+	return decompressSource(ctx, pool, &byteSource{data: stream}, o)
 }
 
 // CompressAll runs the FedSZ pipeline over many client state dicts with
@@ -303,11 +368,19 @@ func DecompressAll(ctx context.Context, streams [][]byte, parallelism int) ([]*t
 // DecompressAllWith is DecompressAll drawing from an existing pool — the
 // session-codec path, where the batch shares the codec's own budget.
 func DecompressAllWith(ctx context.Context, pool *sched.Pool, streams [][]byte) ([]*tensor.StateDict, []*DecompressStats, error) {
+	return DecompressAllOpts(ctx, pool, streams, DecodeOptions{})
+}
+
+// DecompressAllOpts is DecompressAllWith with reference-aware decoding: the
+// aggregation-server round where every client encoded against the same
+// broadcast reference, so one DecodeOptions serves the whole batch. v1/v2
+// streams in the batch ignore o entirely.
+func DecompressAllOpts(ctx context.Context, pool *sched.Pool, streams [][]byte, o DecodeOptions) ([]*tensor.StateDict, []*DecompressStats, error) {
 	sds := make([]*tensor.StateDict, len(streams))
 	stats := make([]*DecompressStats, len(streams))
 	errs := make([]error, len(streams))
 	if err := pool.ForEachCtx(ctx, len(streams), func(i int) {
-		sds[i], stats[i], errs[i] = DecompressWith(ctx, pool, streams[i])
+		sds[i], stats[i], errs[i] = DecompressOpts(ctx, pool, streams[i], o)
 	}); err != nil {
 		return nil, nil, err
 	}

@@ -67,6 +67,9 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	start := time.Now()
 	recycled0 := sched.RecycledBytes()
 	stats := &Stats{RawBytes: sd.SizeBytes()}
+	// A reference switches the stream to the v3 cross-round delta format;
+	// without one the emitted bytes are exactly the v2 stream of before.
+	deltaStream := o.Reference != nil
 
 	entries := sd.Entries()
 	flags := make([]byte, len(entries))
@@ -114,9 +117,16 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 
 	// Header first: a receiver can begin parsing before any blob exists.
 	scratch = binary.LittleEndian.AppendUint32(scratch[:0], streamMagic)
-	scratch = append(scratch, streamVersion)
+	if deltaStream {
+		scratch = append(scratch, streamVersionV3)
+	} else {
+		scratch = append(scratch, streamVersion)
+	}
 	scratch = appendString(scratch, o.Lossy.Name())
 	scratch = appendString(scratch, o.Lossless.Name())
+	if deltaStream {
+		scratch = binary.LittleEndian.AppendUint32(scratch, o.RefEpoch)
+	}
 	scratch = binary.LittleEndian.AppendUint32(scratch, uint32(len(entries)))
 	scratch = append(scratch, flags...)
 	if err := ctx.Err(); err != nil {
@@ -134,6 +144,8 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	n := len(lossyMetas)
 	blobs := make([][]byte, n)
 	blobLens := make([]int, n)
+	deltaMode := make([]bool, n)
+	savedBytes := make([]int, n)
 	errs := make([]error, n)
 	done := make([]chan struct{}, n)
 	var encodeWork atomic.Int64
@@ -162,9 +174,26 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			for _, d := range m.shape {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
 			}
+			modePos := -1
+			if deltaStream {
+				// v3 sections carry a mode byte ahead of the length prefix;
+				// it starts absolute and is flipped only when the residual
+				// encoding wins below.
+				modePos = len(buf)
+				buf = append(buf, sectionAbsolute)
+			}
 			lenPos := len(buf)
 			buf = ebcl.ReserveSectionLen(buf)
-			section, err := o.Lossy.CompressAppend(buf, m.data, o.LossyParams)
+
+			var section []byte
+			var err error
+			if deltaStream {
+				section = tryDeltaSection(o, m.name, m.data, buf, modePos, lenPos,
+					&deltaMode[i], &savedBytes[i])
+			}
+			if section == nil {
+				section, err = o.Lossy.CompressAppend(buf, m.data, o.LossyParams)
+			}
 			if err != nil {
 				sched.PutBytes(buf)
 				errs[i] = err
@@ -239,6 +268,17 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			return nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
 		}
 		stats.LossyCompressed += blobLens[i]
+		if deltaStream {
+			dm := deltaMetrics()
+			if deltaMode[i] {
+				stats.DeltaTensors++
+				stats.DeltaBytesSaved += savedBytes[i]
+				dm.deltaSec.Inc()
+				dm.bytesSaved.Add(uint64(savedBytes[i]))
+			} else {
+				dm.absoluteSec.Inc()
+			}
+		}
 		if err := emitSection(SectionTensor, blobs[i]); err != nil {
 			abort()
 			return nil, err

@@ -62,6 +62,7 @@ func Sections(stream []byte) (*StreamSections, error) {
 	if !supportedStreamVersion(stream[4]) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
 	}
+	isDelta := stream[4] == streamVersionV3
 	pos := 5
 	var err error
 	if _, pos, err = readString(stream, pos); err != nil { // lossy name
@@ -69,6 +70,12 @@ func Sections(stream []byte) (*StreamSections, error) {
 	}
 	if _, pos, err = readString(stream, pos); err != nil { // lossless name
 		return nil, err
+	}
+	if isDelta {
+		if pos+4 > len(stream) {
+			return nil, ErrCorrupt
+		}
+		pos += 4 // reference epoch
 	}
 	if pos+4 > len(stream) {
 		return nil, ErrCorrupt
@@ -105,6 +112,15 @@ func Sections(stream []byte) (*StreamSections, error) {
 			return nil, ErrCorrupt
 		}
 		pos += 4 * rank
+		if isDelta {
+			if pos >= len(stream) {
+				return nil, ErrCorrupt
+			}
+			if m := stream[pos]; m != sectionAbsolute && m != sectionDelta {
+				return nil, fmt.Errorf("%w: tensor section mode %d", ErrCorrupt, m)
+			}
+			pos++
+		}
 		if _, pos, err = ebcl.ReadSection(stream, pos); err != nil {
 			return nil, fmt.Errorf("%w: lossy section %d: %w", ErrCorrupt, i, err)
 		}
@@ -256,6 +272,13 @@ func DecompressFrom(r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
 	return DecompressFromWith(context.Background(), sched.Default(), r)
 }
 
+// DecompressFromOpts is DecompressFromWith with reference-aware decoding:
+// v3 delta streams reconstruct residual sections against o.Reference (see
+// DecodeOptions). v1/v2 streams ignore o entirely.
+func DecompressFromOpts(ctx context.Context, pool *sched.Pool, r io.Reader, o DecodeOptions) (*tensor.StateDict, *DecompressStats, error) {
+	return decompressSource(ctx, pool, newReaderSource(ctx, r), o)
+}
+
 // DecompressFromWith is DecompressFrom drawing decode parallelism from the
 // given pool (nil runs serially). The reading goroutine submits each fully
 // received blob to the pool and immediately returns to reading; when the
@@ -268,11 +291,11 @@ func DecompressFrom(r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
 // ctx.Err() after the in-flight workers drain (no pool slot or pooled
 // buffer is leaked).
 func DecompressFromWith(ctx context.Context, pool *sched.Pool, r io.Reader) (*tensor.StateDict, *DecompressStats, error) {
-	return decompressSource(ctx, pool, newReaderSource(ctx, r))
+	return decompressSource(ctx, pool, newReaderSource(ctx, r), DecodeOptions{})
 }
 
-// decompressSource is the one decoder behind both entry points.
-func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (*tensor.StateDict, *DecompressStats, error) {
+// decompressSource is the one decoder behind every entry point.
+func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, dopts DecodeOptions) (*tensor.StateDict, *DecompressStats, error) {
 	start := time.Now()
 	poolHits0, poolMisses0 := sched.BytePoolCounters()
 	floatHits0, floatMisses0 := sched.FloatPoolCounters()
@@ -298,6 +321,7 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	if !supportedStreamVersion(hdr[4]) {
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
 	}
+	isDelta := hdr[4] == streamVersionV3
 	lossyName, err := src.readString("lossy compressor name")
 	if err != nil {
 		return failRead(err)
@@ -305,6 +329,14 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 	losslessName, err := src.readString("lossless codec name")
 	if err != nil {
 		return failRead(err)
+	}
+	var refEpoch uint32
+	if isDelta {
+		var eb [4]byte
+		if err := src.readFull(eb[:], "reference epoch"); err != nil {
+			return failRead(err)
+		}
+		refEpoch = binary.LittleEndian.Uint32(eb[:])
 	}
 	lossy, err := compressors.Get(lossyName)
 	if err != nil {
@@ -350,6 +382,7 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 		err   error
 	}
 	entries := make([]lossyEntry, nLossy)
+	nDelta := 0
 	var decodeWork atomic.Int64
 	var rest *tensor.StateDict
 	var restErr error
@@ -403,6 +436,35 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 				return fail(fmt.Errorf("%w: tensor %q element count exceeds limit", ErrCorrupt, e.name))
 			}
 		}
+		// v3 sections carry a mode byte; a residual section is only
+		// decodable when this decoder holds the same-epoch baseline with a
+		// matching tensor — anything else is a reference mismatch, not
+		// corruption, so the sender can renegotiate an absolute upload.
+		var refData []float32
+		if isDelta {
+			var mb [1]byte
+			if err := src.readFull(mb[:], "tensor mode"); err != nil {
+				return fail(err)
+			}
+			switch mb[0] {
+			case sectionAbsolute:
+			case sectionDelta:
+				if dopts.Reference == nil {
+					return fail(fmt.Errorf("%w: residual section %q but no reference supplied", ErrReference, e.name))
+				}
+				if dopts.RefEpoch != refEpoch {
+					return fail(fmt.Errorf("%w: stream encoded against epoch %d, decoder holds %d", ErrReference, refEpoch, dopts.RefEpoch))
+				}
+				rt := dopts.Reference.Get(e.name)
+				if rt == nil || rt.NumElems() != e.elems {
+					return fail(fmt.Errorf("%w: reference lacks matching tensor %q", ErrReference, e.name))
+				}
+				refData = rt.Data
+				nDelta++
+			default:
+				return fail(fmt.Errorf("%w: tensor %q section mode %d", ErrCorrupt, e.name, mb[0]))
+			}
+		}
 		blob, release, err := src.readSection(fmt.Sprintf("lossy section %q", e.name))
 		if err != nil {
 			return fail(err)
@@ -431,6 +493,16 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 				sched.PutFloats(data)
 				e.err = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
 				return
+			}
+			if refData != nil {
+				// Residual section: fold the baseline back in, in place in
+				// the pooled reconstruction buffer — the decode half of the
+				// subtract/add pair.
+				t1 := time.Now()
+				for i, r := range refData {
+					data[i] += r
+				}
+				decodeWork.Add(int64(time.Since(t1)))
 			}
 			e.data = data
 		})
@@ -514,5 +586,6 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource) (
 		FloatPoolHits:   floatHits1 - floatHits0,
 		FloatPoolMisses: floatMisses1 - floatMisses0,
 		BytesRecycled:   sched.RecycledBytes() - recycled0,
+		DeltaTensors:    nDelta,
 	}, nil
 }

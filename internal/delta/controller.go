@@ -1,0 +1,120 @@
+package delta
+
+// Controller closes the loop on the error bound: the paper tunes REL 1e-2
+// offline as the sweet spot between wire cost and accuracy; the controller
+// retunes it online, per round, from signals the pipeline already produces
+// (bytes on the wire from Stats, accuracy from Federation.Evaluate),
+// multiplicatively stepping the bound toward a target bytes-per-round while
+// never crossing an accuracy floor.
+
+import (
+	"fmt"
+
+	"repro/internal/ebcl"
+)
+
+// ControllerConfig bounds and paces the adjustment loop. TargetBytes and
+// AccuracyFloor are the two objectives; at least one must be set.
+type ControllerConfig struct {
+	// TargetBytes is the bytes-per-round budget: observed wire bytes above
+	// it loosen the bound (more compression), bytes comfortably below it
+	// tighten the bound (better fidelity for free). Zero disables the
+	// budget objective.
+	TargetBytes int
+	// AccuracyFloor tightens the bound whenever observed accuracy falls
+	// below it, overriding the byte budget — accuracy is the constraint,
+	// bytes the objective. Zero disables the floor.
+	AccuracyFloor float64
+	// Min and Max clamp the bound value. Zero values default to
+	// [initial/64, initial×64].
+	Min, Max float64
+	// Step is the multiplicative adjustment factor (> 1). Zero defaults
+	// to 1.25 — fast enough to cross the default clamp range in a dozen
+	// rounds, slow enough not to oscillate around the target.
+	Step float64
+	// Deadband is the fraction below TargetBytes treated as on-target, so
+	// the controller doesn't chase the noise between rounds. Zero defaults
+	// to 0.15.
+	Deadband float64
+}
+
+// Adjustment reports one Observe decision for tracing.
+type Adjustment struct {
+	Changed  bool
+	Old, New float64
+	// Reason is one of "accuracy_floor", "over_budget", "headroom",
+	// "steady".
+	Reason string
+}
+
+// Controller adapts a REL or ABS error bound round over round. It is not
+// safe for concurrent use; RunRound drives it from the round loop.
+type Controller struct {
+	params ebcl.Params
+	cfg    ControllerConfig
+}
+
+// NewController starts the loop at initial (the bound the codec was built
+// with). PREC has no error bound to tune and is rejected.
+func NewController(initial ebcl.Params, cfg ControllerConfig) (*Controller, error) {
+	if initial.Mode != ebcl.ModeRelative && initial.Mode != ebcl.ModeAbsolute {
+		return nil, fmt.Errorf("delta: controller requires a REL or ABS bound, got mode %v", initial.Mode)
+	}
+	if initial.Value <= 0 {
+		return nil, fmt.Errorf("delta: controller initial bound must be positive, got %g", initial.Value)
+	}
+	if cfg.TargetBytes <= 0 && cfg.AccuracyFloor <= 0 {
+		return nil, fmt.Errorf("delta: controller needs TargetBytes or AccuracyFloor")
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 1.25
+	}
+	if cfg.Step <= 1 {
+		return nil, fmt.Errorf("delta: controller step must be > 1, got %g", cfg.Step)
+	}
+	if cfg.Deadband == 0 {
+		cfg.Deadband = 0.15
+	}
+	if cfg.Deadband < 0 || cfg.Deadband >= 1 {
+		return nil, fmt.Errorf("delta: controller deadband must be in [0, 1), got %g", cfg.Deadband)
+	}
+	if cfg.Min == 0 {
+		cfg.Min = initial.Value / 64
+	}
+	if cfg.Max == 0 {
+		cfg.Max = initial.Value * 64
+	}
+	if cfg.Min <= 0 || cfg.Max < cfg.Min {
+		return nil, fmt.Errorf("delta: controller clamp [%g, %g] invalid", cfg.Min, cfg.Max)
+	}
+	return &Controller{params: initial, cfg: cfg}, nil
+}
+
+// Params returns the current error-control parameters to compress the next
+// round with.
+func (c *Controller) Params() ebcl.Params { return c.params }
+
+// Observe feeds one round's outcome — total bytes on the wire and the
+// evaluated global accuracy (pass a negative accuracy when no evaluation
+// ran) — and steps the bound: below the accuracy floor tighten; over the
+// byte budget loosen; comfortably under budget tighten to spend the
+// headroom on fidelity; otherwise hold.
+func (c *Controller) Observe(wireBytes int, accuracy float64) Adjustment {
+	adj := Adjustment{Old: c.params.Value, New: c.params.Value, Reason: "steady"}
+	switch {
+	case c.cfg.AccuracyFloor > 0 && accuracy >= 0 && accuracy < c.cfg.AccuracyFloor:
+		adj.New, adj.Reason = c.params.Value/c.cfg.Step, "accuracy_floor"
+	case c.cfg.TargetBytes > 0 && wireBytes > c.cfg.TargetBytes:
+		adj.New, adj.Reason = c.params.Value*c.cfg.Step, "over_budget"
+	case c.cfg.TargetBytes > 0 && float64(wireBytes) < float64(c.cfg.TargetBytes)*(1-c.cfg.Deadband):
+		adj.New, adj.Reason = c.params.Value/c.cfg.Step, "headroom"
+	}
+	adj.New = min(max(adj.New, c.cfg.Min), c.cfg.Max)
+	adj.Changed = adj.New != adj.Old
+	if !adj.Changed && adj.Reason != "steady" {
+		// Clamped back to where it was: report the hold, not the intent.
+		adj.Reason = "steady"
+	}
+	c.params.Value = adj.New
+	return adj
+}

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/delta"
+	"repro/internal/ebcl"
 	"repro/internal/flserve"
 	"repro/internal/netsim"
 	"repro/internal/nn"
@@ -84,6 +86,31 @@ type StreamBatchTransport interface {
 	EncodeUploadAll(ctx context.Context, sds []*tensor.StateDict) (*StreamRound, error)
 }
 
+// ReferenceTransport is an optional Transport extension for transports that
+// can compress cross-round deltas: RunRound hands it the broadcast global
+// state at the top of every round, and the transport encodes subsequent
+// updates as residuals against that retained reference (the v3 delta stream
+// format), falling back to absolute per tensor — or per connection, when
+// the receiving end does not hold the reference.
+type ReferenceTransport interface {
+	Transport
+	// SetReference retains sd as the round's encode/decode baseline. The
+	// transport copies what it needs; sd remains owned by the caller. Must
+	// not be called concurrently with an in-flight round.
+	SetReference(sd *tensor.StateDict)
+}
+
+// TunableTransport is an optional Transport extension for transports whose
+// lossy error bound can be retuned between rounds — the knob the adaptive
+// controller (Federation.Controller) turns.
+type TunableTransport interface {
+	Transport
+	// SetLossyParams replaces the error-control parameters used by
+	// subsequent Encodes. Must not be called concurrently with an in-flight
+	// round.
+	SetLossyParams(p ebcl.Params)
+}
+
 // RawTransport transmits the uncompressed serialized state dict.
 type RawTransport struct{}
 
@@ -107,9 +134,16 @@ type FedSZTransport struct {
 	// Parallel is the server-side decode budget shared across a round's
 	// batch (0 selects GOMAXPROCS).
 	Parallel int
+	// Delta enables cross-round delta compression: once RunRound supplies a
+	// reference via SetReference, updates encode as v3 residual streams
+	// against it and decode against the same retained copy. Set before the
+	// first round.
+	Delta bool
 	// LastStats holds the most recent Encode's pipeline statistics.
 	mu        sync.Mutex
 	LastStats *core.Stats
+
+	ref delta.Ref
 }
 
 // NewFedSZTransport wraps pipeline options as a transport.
@@ -120,9 +154,45 @@ func NewFedSZTransport(opts core.Options) *FedSZTransport {
 // Name implements Transport.
 func (t *FedSZTransport) Name() string { return "fedsz" }
 
+// SetReference implements ReferenceTransport: with Delta set it retains a
+// copy of sd as the encode/decode baseline for the round; without Delta it
+// is a no-op and the transport keeps emitting absolute streams.
+func (t *FedSZTransport) SetReference(sd *tensor.StateDict) {
+	if t.Delta {
+		t.ref.Set(sd)
+	}
+}
+
+// SetLossyParams implements TunableTransport.
+func (t *FedSZTransport) SetLossyParams(p ebcl.Params) {
+	t.mu.Lock()
+	t.Opts.LossyParams = p
+	t.mu.Unlock()
+}
+
+// encodeOpts resolves the options for one Encode, folding in the retained
+// delta reference when one is set.
+func (t *FedSZTransport) encodeOpts() core.Options {
+	t.mu.Lock()
+	opts := t.Opts
+	t.mu.Unlock()
+	if ref, epoch, ok := t.ref.Get(); ok {
+		opts.Reference, opts.RefEpoch = ref, epoch
+	}
+	return opts
+}
+
+// decodeOpts mirrors encodeOpts for the server side of the same round.
+func (t *FedSZTransport) decodeOpts() core.DecodeOptions {
+	if ref, epoch, ok := t.ref.Get(); ok {
+		return core.DecodeOptions{Reference: ref, RefEpoch: epoch}
+	}
+	return core.DecodeOptions{}
+}
+
 // Encode implements Transport.
 func (t *FedSZTransport) Encode(ctx context.Context, sd *tensor.StateDict) ([]byte, int, error) {
-	payload, stats, err := core.CompressWith(ctx, sched.Default(), sd, t.Opts)
+	payload, stats, err := core.CompressWith(ctx, sched.Default(), sd, t.encodeOpts())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -134,14 +204,14 @@ func (t *FedSZTransport) Encode(ctx context.Context, sd *tensor.StateDict) ([]by
 
 // Decode implements Transport.
 func (t *FedSZTransport) Decode(ctx context.Context, p []byte) (*tensor.StateDict, error) {
-	sd, _, err := core.DecompressWith(ctx, sched.Default(), p)
+	sd, _, err := core.DecompressOpts(ctx, sched.Default(), p, t.decodeOpts())
 	return sd, err
 }
 
 // DecodeAll implements BatchTransport: the whole round's payloads decode
 // under one shared parallelism budget.
 func (t *FedSZTransport) DecodeAll(ctx context.Context, payloads [][]byte) ([]*tensor.StateDict, []time.Duration, error) {
-	sds, stats, err := core.DecompressAll(ctx, payloads, t.Parallel)
+	sds, stats, err := core.DecompressAllOpts(ctx, sched.NewPool(t.Parallel), payloads, t.decodeOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -182,11 +252,21 @@ type NetTransport struct {
 	// no retries).
 	Timeout time.Duration
 	Retries int
+	// Delta enables cross-round delta uploads on the streaming path: once
+	// RunRound supplies a reference via SetReference, each session opens
+	// with the FLS2 epoch negotiation and — when the server accepts —
+	// streams v3 residual encodes; a refused session (or a non-delta
+	// server) falls back to absolute uploads on the same connection, so
+	// delta clients and plain FLS1 clients interoperate freely. Set before
+	// the first round.
+	Delta bool
 	// LastStats holds the server's ingest counters from the most recent
 	// batch call, including the decode/receive overlap ratio. It is
 	// written only as that call returns; read it after the round, not
 	// concurrently with one.
 	LastStats flserve.Stats
+
+	ref delta.Ref
 }
 
 // NewNetTransport wraps pipeline options as a socket-backed transport.
@@ -196,6 +276,33 @@ func NewNetTransport(opts core.Options) *NetTransport {
 
 // Name implements Transport.
 func (t *NetTransport) Name() string { return "fedsz+tcp" }
+
+// SetReference implements ReferenceTransport: with Delta set it retains a
+// copy of sd as the round's baseline, served to the ephemeral aggregation
+// server via the epoch-checked provider and encoded against on sessions
+// whose FLS2 negotiation succeeded. A no-op without Delta.
+func (t *NetTransport) SetReference(sd *tensor.StateDict) {
+	if t.Delta {
+		t.ref.Set(sd)
+	}
+}
+
+// SetLossyParams implements TunableTransport.
+func (t *NetTransport) SetLossyParams(p ebcl.Params) { t.Opts.LossyParams = p }
+
+// uploadOpts resolves the encode options for one session: the retained
+// reference rides along only when this session's delta negotiation
+// succeeded — the per-connection absolute fallback that keeps a refused (or
+// legacy) session wire-compatible.
+func (t *NetTransport) uploadOpts(s *flserve.Session) core.Options {
+	opts := t.Opts
+	if s.DeltaAccepted() {
+		if ref, epoch, ok := t.ref.Get(); ok {
+			opts.Reference, opts.RefEpoch = ref, epoch
+		}
+	}
+	return opts
+}
 
 // Encode implements Transport.
 func (t *NetTransport) Encode(ctx context.Context, sd *tensor.StateDict) ([]byte, int, error) {
@@ -212,6 +319,19 @@ func (t *NetTransport) Decode(ctx context.Context, p []byte) (*tensor.StateDict,
 	return sd, err
 }
 
+// dial opens one round session: the FLS2 delta negotiation when a
+// reference is retained, the plain FLS1 prelude otherwise. A server that
+// refuses the negotiation still yields a usable session — uploads just go
+// absolute.
+func (t *NetTransport) dial(ctx context.Context, c *flserve.Client) (*flserve.Session, error) {
+	if t.Delta {
+		if _, epoch, ok := t.ref.Get(); ok {
+			return c.DialDelta(ctx, epoch)
+		}
+	}
+	return c.Dial(ctx)
+}
+
 // netRound is the shared server+session scaffolding behind DecodeAll and
 // EncodeUploadAll: an ephemeral aggregation server, a handler collecting
 // results by client ID, and n updates multiplexed over a few reused
@@ -220,9 +340,14 @@ func (t *NetTransport) netRound(ctx context.Context, n int, upload func(ctx cont
 	results := make([]*tensor.StateDict, n)
 	durs := make([]time.Duration, n)
 	var mu sync.Mutex
+	var refProvider func(uint32) *tensor.StateDict
+	if t.Delta {
+		refProvider = t.ref.Provider()
+	}
 	srv, err := flserve.Listen("127.0.0.1:0", flserve.Config{
 		Parallel:      t.Parallel,
 		UploadTimeout: t.Timeout,
+		RefProvider:   refProvider,
 		Handler: func(u flserve.Update) error {
 			mu.Lock()
 			defer mu.Unlock()
@@ -289,7 +414,7 @@ func (t *NetTransport) netRound(ctx context.Context, n int, upload func(ctx cont
 						actx, cancel = context.WithTimeout(ctx, client.Timeout)
 					}
 					if sess == nil {
-						sess, err = client.Dial(actx)
+						sess, err = t.dial(actx, client)
 					}
 					if err == nil {
 						err = upload(actx, sess, i)
@@ -366,7 +491,7 @@ func (t *NetTransport) EncodeUploadAll(ctx context.Context, sds []*tensor.StateD
 		rawBytes += sd.SizeBytes()
 	}
 	decoded, decDurs, err := t.netRound(ctx, len(sds), func(ctx context.Context, s *flserve.Session, i int) error {
-		stats, err := s.UploadState(ctx, uint32(i), sds[i], t.Opts, sched.Default())
+		stats, err := s.UploadState(ctx, uint32(i), sds[i], t.uploadOpts(s), sched.Default())
 		if err != nil {
 			return err
 		}
@@ -487,6 +612,14 @@ type Federation struct {
 	// RunRound with the loss/accuracy/bytes/phase-duration breakdown.
 	Tracer *telemetry.Tracer
 
+	// Controller, when non-nil, closes the loop on the transport's lossy
+	// error bound: after each round's evaluation it observes the wire bytes
+	// and accuracy and retunes the bound toward its byte budget or accuracy
+	// floor, applying the adjustment through TunableTransport (transports
+	// that do not implement it leave the controller inert). Each decision
+	// is traced as a "controller" event.
+	Controller *delta.Controller
+
 	// acc is the FedAvg accumulator, pooled on first use and rezeroed in
 	// place every subsequent round (LoadStateDict copies out of it, so
 	// holding it across rounds is safe).
@@ -505,6 +638,11 @@ func NewFederation(global *nn.Network, clients []*Client, transport Transport, t
 func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*RoundResult, error) {
 	res := &RoundResult{Round: round}
 	globalState := f.Global.StateDict()
+	if rt, ok := f.Transport.(ReferenceTransport); ok {
+		// The state every client trains from this round is the delta
+		// baseline both ends encode and decode against.
+		rt.SetReference(globalState)
+	}
 	_, streaming := f.Transport.(StreamBatchTransport)
 
 	type clientOut struct {
@@ -570,6 +708,15 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 	// rather than O(clients × model). A StreamBatchTransport additionally
 	// fuses the encode into each chunk's upload; a BatchTransport decodes
 	// pre-encoded payloads under one shared parallelism budget.
+	if f.acc != nil {
+		// A retained accumulator that no longer matches the model means the
+		// global network changed structure mid-federation — a bug ZeroInto's
+		// silent reallocation would paper over (stale pooled buffers, wrong
+		// aggregation). Fail loudly instead.
+		if err := f.acc.CheckCompatible(globalState); err != nil {
+			return nil, fmt.Errorf("fl: accumulator incompatible with global model: %w", err)
+		}
+	}
 	f.acc = globalState.ZeroInto(f.acc)
 	acc := f.acc
 	weight := 1 / float32(len(f.Clients))
@@ -642,6 +789,24 @@ func (f *Federation) RunRound(ctx context.Context, round, localEpochs int) (*Rou
 	t0 = time.Now()
 	res.Accuracy = f.Evaluate()
 	res.Timings.Validate = time.Since(t0)
+
+	if f.Controller != nil {
+		if tt, ok := f.Transport.(TunableTransport); ok {
+			adj := f.Controller.Observe(res.WireBytes, res.Accuracy)
+			if adj.Changed {
+				tt.SetLossyParams(f.Controller.Params())
+			}
+			f.Tracer.Event("controller",
+				telemetry.A("round", res.Round),
+				telemetry.A("reason", adj.Reason),
+				telemetry.A("changed", adj.Changed),
+				telemetry.A("old_bound", adj.Old),
+				telemetry.A("new_bound", adj.New),
+				telemetry.A("wire_bytes", res.WireBytes),
+				telemetry.A("accuracy", res.Accuracy),
+			)
+		}
+	}
 	f.Tracer.Event("round",
 		telemetry.A("round", res.Round),
 		telemetry.A("transport", f.Transport.Name()),

@@ -54,7 +54,17 @@ type Client struct {
 type Session struct {
 	conn net.Conn
 	bw   *bufio.Writer
+	// deltaAccepted records the server's answer to an FLS2 negotiation:
+	// true means uploads on this session may carry residual (v3) streams
+	// encoded against the negotiated reference epoch.
+	deltaAccepted bool
 }
+
+// DeltaAccepted reports whether the server agreed to decode residual (v3)
+// streams on this session; always false for plain Dial sessions. When
+// false, upload absolute streams — the server does not hold the reference
+// this client wanted to encode against.
+func (s *Session) DeltaAccepted() bool { return s.deltaAccepted }
 
 // Dial opens a session to c.Addr, honouring ctx for the connection
 // attempt, and sends the protocol magic (buffered until the first upload).
@@ -75,6 +85,47 @@ func (c *Client) Dial(ctx context.Context) (*Session, error) {
 		conn.Close()
 		return nil, fmt.Errorf("flserve: session prelude: %w", err)
 	}
+	return s, nil
+}
+
+// DialDelta opens a session that negotiates cross-round delta uploads: the
+// FLS2 prelude proposes the client's reference epoch, and the server's
+// one-byte answer (exposed as Session.DeltaAccepted) says whether residual
+// (v3) streams encoded against that epoch will decode there. Refusal is not
+// an error — the session is live either way; the caller just uploads
+// absolute streams. The negotiation costs one round trip, paid once per
+// session, not per update.
+func (c *Client) DialDelta(ctx context.Context, epoch uint32) (*Session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flserve: dial %s: %w", c.Addr, err)
+	}
+	var dst io.Writer = conn
+	if c.Link.BandwidthMbps > 0 {
+		dst = c.Link.ThrottleWriter(conn)
+	}
+	s := &Session{conn: conn, bw: bufio.NewWriterSize(dst, 64<<10)}
+	defer s.arm(ctx)()
+	var prelude [8]byte
+	binary.LittleEndian.PutUint32(prelude[:4], connMagicDelta)
+	binary.LittleEndian.PutUint32(prelude[4:], epoch)
+	if _, err := s.bw.Write(prelude[:]); err != nil {
+		conn.Close()
+		return nil, ctxErr(ctx, fmt.Errorf("flserve: session prelude: %w", err))
+	}
+	// Unlike Dial, the prelude must flush now: the server answers it before
+	// reading any update.
+	if err := s.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, ctxErr(ctx, fmt.Errorf("flserve: session prelude: %w", err))
+	}
+	var accept [1]byte
+	if _, err := io.ReadFull(conn, accept[:]); err != nil {
+		conn.Close()
+		return nil, ctxErr(ctx, fmt.Errorf("flserve: delta negotiation: %w", err))
+	}
+	s.deltaAccepted = accept[0] == 1
 	return s, nil
 }
 

@@ -1,0 +1,187 @@
+package flserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/tensor"
+)
+
+// correlatedUpdate returns ref plus a small SGD-sized step — the temporal
+// correlation that makes residual sections win.
+func correlatedUpdate(ref *tensor.StateDict, seed uint64) *tensor.StateDict {
+	rng := rand.New(rand.NewPCG(seed, seed^0xD317A))
+	sd := ref.Clone()
+	for _, e := range sd.Entries() {
+		for i := range e.Tensor.Data {
+			e.Tensor.Data[i] += float32(1e-3 * rng.NormFloat64())
+		}
+	}
+	return sd
+}
+
+// TestDeltaNegotiation covers the FLS2 prelude end to end: an accepted
+// epoch decodes residual uploads, a stale epoch is refused but the session
+// stays live for absolute uploads, a residual stream on a refused session
+// is rejected (never folded against the wrong baseline), and plain FLS1
+// clients interoperate unchanged with a delta-capable server — the
+// wire-compatibility contract.
+func TestDeltaNegotiation(t *testing.T) {
+	const epoch = 9
+	ref := clientUpdate(100)
+	upd := correlatedUpdate(ref, 7)
+	col := newCollector()
+	srv, err := Listen("127.0.0.1:0", Config{
+		Handler: col.handle,
+		RefProvider: func(e uint32) *tensor.StateDict {
+			if e == epoch {
+				return ref
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{Addr: srv.Addr().String()}
+	ctx := context.Background()
+
+	opts := core.Options{LossyParams: ebcl.Rel(1e-2)}
+	absStream, _, err := core.Compress(upd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOpts := opts
+	dOpts.Reference, dOpts.RefEpoch = ref, epoch
+	deltaStream, stats, err := core.Compress(upd, dOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaTensors == 0 {
+		t.Fatal("correlated update produced no residual sections")
+	}
+
+	// Matching epoch: accepted, and the residual stream decodes server-side.
+	// A later absolute upload on the same accepted session is also fine —
+	// acceptance permits v3, it does not require it.
+	s, err := c.DialDelta(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.DeltaAccepted() {
+		t.Fatal("matching epoch refused")
+	}
+	if err := s.Upload(ctx, 0, deltaStream); err != nil {
+		t.Fatalf("residual upload on accepted session: %v", err)
+	}
+	if err := s.Upload(ctx, 1, absStream); err != nil {
+		t.Fatalf("absolute upload on accepted session: %v", err)
+	}
+	s.Close()
+
+	// Stale epoch: refused, not an error — the session carries absolute
+	// uploads.
+	s2, err := c.DialDelta(ctx, epoch+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.DeltaAccepted() {
+		t.Fatal("stale epoch accepted")
+	}
+	if err := s2.Upload(ctx, 2, absStream); err != nil {
+		t.Fatalf("absolute upload on refused session: %v", err)
+	}
+	s2.Close()
+
+	// A residual stream on a refused session must be rejected — the server
+	// holds no baseline for it and must never decode against the wrong one.
+	s3, err := c.DialDelta(ctx, epoch+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Upload(ctx, 3, deltaStream); !errors.Is(err, ErrRejected) {
+		t.Fatalf("residual upload on refused session: %v, want ErrRejected", err)
+	}
+	s3.Close()
+
+	// Legacy FLS1 client against the same server: byte-for-byte unchanged.
+	if err := Upload(srv.Addr().String(), 4, absStream); err != nil {
+		t.Fatalf("FLS1 client against delta-capable server: %v", err)
+	}
+
+	// Every accepted upload decoded bit-identically to the in-memory path.
+	wantDelta, _, err := core.DecompressOpts(ctx, nil, deltaStream,
+		core.DecodeOptions{Reference: ref, RefEpoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAbs, _, err := core.Decompress(absStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.updates) != 4 {
+		t.Fatalf("server folded %d updates, want 4", len(col.updates))
+	}
+	if !bytes.Equal(col.updates[0].State.Marshal(), wantDelta.Marshal()) {
+		t.Fatal("residual upload decode differs from in-memory delta decode")
+	}
+	for _, id := range []uint32{1, 2, 4} {
+		if !bytes.Equal(col.updates[id].State.Marshal(), wantAbs.Marshal()) {
+			t.Fatalf("client %d: absolute upload decode differs from in-memory decode", id)
+		}
+	}
+	st := srv.Stats()
+	if st.Updates != 4 || st.Rejected != 1 {
+		t.Fatalf("stats %+v, want 4 updates / 1 rejected", st)
+	}
+}
+
+// TestMeanIntoShapeMismatch: a destination dict that no longer matches the
+// accumulator must yield the explicit error, never a silent reallocation.
+func TestMeanIntoShapeMismatch(t *testing.T) {
+	var agg Aggregator
+	for i := uint64(1); i <= 2; i++ {
+		if err := agg.Add(Update{Client: uint32(i), State: clientUpdate(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bad := tensor.NewStateDict()
+	bad.Add("conv.weight", tensor.KindWeight, tensor.New(8, 8))
+	if _, n, err := agg.MeanInto(bad); err == nil || n != 2 ||
+		!strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("mismatched destination: n=%d err=%v, want explicit incompatibility", n, err)
+	}
+
+	// A compatible destination is filled in place.
+	dst := clientUpdate(3)
+	out, n, err := agg.MeanInto(dst)
+	if err != nil || n != 2 {
+		t.Fatalf("compatible destination: n=%d err=%v", n, err)
+	}
+	if out != dst {
+		t.Fatal("MeanInto did not reuse the compatible destination")
+	}
+	want, wn := agg.Mean()
+	if wn != 2 {
+		t.Fatalf("Mean count %d, want 2", wn)
+	}
+	if d, err := out.MaxAbsDiff(want); err != nil || d != 0 {
+		t.Fatalf("MeanInto result differs from Mean: d=%v err=%v", d, err)
+	}
+
+	// Empty accumulator: nil result, no error, any destination accepted.
+	var empty Aggregator
+	if out, n, err := empty.MeanInto(bad); out != nil || n != 0 || err != nil {
+		t.Fatalf("empty accumulator: (%v, %d, %v), want (nil, 0, nil)", out, n, err)
+	}
+}

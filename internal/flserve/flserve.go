@@ -64,6 +64,13 @@ import (
 
 const (
 	connMagic = 0x464C5331 // "FLS1"
+	// connMagicDelta opens a delta-negotiating connection: the magic is
+	// followed by the client's reference epoch (u32), and the server answers
+	// one byte — 1 when it holds that epoch's reference and will decode
+	// residual (v3) streams on this connection, 0 when the client must fall
+	// back to absolute uploads. FLS1 connections skip the exchange entirely,
+	// so pre-delta clients are wire-compatible byte for byte.
+	connMagicDelta = 0x464C5332 // "FLS2"
 	// ackMsgLimit truncates error messages echoed to clients.
 	ackMsgLimit = 512
 )
@@ -118,6 +125,15 @@ type Config struct {
 	// aggregated metrics the server always publishes on
 	// telemetry.Default().
 	Tracer *telemetry.Tracer
+	// RefProvider resolves a delta client's negotiated reference epoch to
+	// the retained reference state dict (nil when the server does not hold
+	// that epoch — the client is then steered to absolute uploads). Leave
+	// nil to refuse every delta negotiation; FLS1 connections never consult
+	// it. The returned dict is read concurrently by in-flight decodes, so
+	// the provider must not hand out a dict that is mutated while
+	// connections are live (internal/delta.Ref.Provider retains a stable
+	// copy per epoch).
+	RefProvider func(epoch uint32) *tensor.StateDict
 }
 
 // defaultIdleTimeout is Config.IdleTimeout's zero-value default.
@@ -374,13 +390,48 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.rejectConn(conn, fmt.Errorf("%w: connection magic: %v", core.ErrCorrupt, err))
 		return
 	}
-	if binary.LittleEndian.Uint32(magic[:]) != connMagic {
+	preludeBytes := int64(len(magic))
+	var dopts core.DecodeOptions
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case connMagic:
+	case connMagicDelta:
+		// Delta negotiation: the client proposes a reference epoch; accept
+		// only when RefProvider holds that exact baseline, else answer 0 and
+		// carry on — the client re-encodes absolute and the connection
+		// proceeds identically to FLS1.
+		var eb [4]byte
+		if _, err := io.ReadFull(br, eb[:]); err != nil {
+			rejected++
+			s.rejectConn(conn, fmt.Errorf("%w: delta epoch: %v", core.ErrCorrupt, err))
+			return
+		}
+		preludeBytes += int64(len(eb))
+		epoch := binary.LittleEndian.Uint32(eb[:])
+		var ref *tensor.StateDict
+		if s.cfg.RefProvider != nil {
+			ref = s.cfg.RefProvider(epoch)
+		}
+		accept := byte(0)
+		if ref != nil {
+			accept = 1
+			dopts = core.DecodeOptions{Reference: ref, RefEpoch: epoch}
+			m.deltaAccepted.Inc()
+		} else {
+			m.deltaRefused.Inc()
+		}
+		if _, err := conn.Write([]byte{accept}); err != nil {
+			rejected++
+			s.rejected.Add(1)
+			metrics().connsRejected.Inc()
+			return
+		}
+	default:
 		rejected++
 		s.rejectConn(conn, fmt.Errorf("%w: bad connection magic", core.ErrCorrupt))
 		return
 	}
 
-	first := true // update 1 carries the connection magic in its WireBytes
+	first := true // update 1 carries the connection prelude in its WireBytes
 	for {
 		var idb [4]byte
 		if _, err := io.ReadFull(br, idb[:]); err != nil {
@@ -401,7 +452,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.UploadTimeout)
 			cr.deadline = time.Now().Add(s.cfg.UploadTimeout)
 		}
-		u, err := s.ingestUpdate(ctx, br, client)
+		u, err := s.ingestUpdate(ctx, br, client, dopts)
 		cancel()
 		cr.deadline = time.Time{}
 
@@ -409,7 +460,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			u.Remote = remote
 			u.WireBytes += int64(len(idb))
 			if first {
-				u.WireBytes += int64(len(magic))
+				u.WireBytes += preludeBytes
 			}
 			err = s.cfg.Handler(*u)
 		}
@@ -463,10 +514,10 @@ func (s *Server) rejectConn(conn net.Conn, err error) {
 // computed from the de-framer's logical counts, which stay exact under
 // the multi-update protocol where bufio read-ahead may already hold the
 // next update's bytes.
-func (s *Server) ingestUpdate(ctx context.Context, br *bufio.Reader, client uint32) (*Update, error) {
+func (s *Server) ingestUpdate(ctx context.Context, br *bufio.Reader, client uint32, dopts core.DecodeOptions) (*Update, error) {
 	wr := wire.NewReader(br)
 	defer wr.Close()
-	sd, dstats, err := core.DecompressFromWith(ctx, s.pool, wr)
+	sd, dstats, err := core.DecompressFromOpts(ctx, s.pool, wr, dopts)
 	if err != nil {
 		return nil, err
 	}
@@ -568,20 +619,29 @@ func (a *Aggregator) Count() int {
 // tensor buffers) and their count; nil and 0 before the first update.
 // Recycle the returned dict via core.Release once it has been consumed.
 func (a *Aggregator) Mean() (*tensor.StateDict, int) {
-	return a.MeanInto(nil)
+	sd, n, _ := a.MeanInto(nil) // nil dst cannot mismatch
+	return sd, n
 }
 
-// MeanInto is Mean writing into dst's storage when dst is structurally
-// compatible with the accumulator (the steady-state path for a server
-// computing a mean every round); otherwise the copy is built over pooled
-// tensor buffers exactly as Mean does.
-func (a *Aggregator) MeanInto(dst *tensor.StateDict) (*tensor.StateDict, int) {
+// MeanInto is Mean writing into dst's storage (the steady-state path for a
+// server computing a mean every round). A non-nil dst must be structurally
+// compatible with the accumulator; a mismatch — the model changed shape
+// while the server kept its old scratch — returns an explicit error rather
+// than silently reallocating over a dict the caller believes it is reusing.
+// dst == nil builds the copy over pooled tensor buffers exactly as Mean
+// does.
+func (a *Aggregator) MeanInto(dst *tensor.StateDict) (*tensor.StateDict, int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.sum == nil {
-		return nil, 0
+		return nil, 0, nil
+	}
+	if dst != nil {
+		if err := dst.CheckCompatible(a.sum); err != nil {
+			return nil, a.n, fmt.Errorf("flserve: MeanInto destination incompatible with accumulator: %w", err)
+		}
 	}
 	out := a.sum.CloneInto(dst)
 	out.Scale(1 / float32(a.n))
-	return out, a.n
+	return out, a.n, nil
 }

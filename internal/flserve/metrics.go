@@ -26,6 +26,9 @@ type serverMetrics struct {
 	wireHist        *telemetry.Histogram
 	decodeHist      *telemetry.Histogram
 	overlapHist     *telemetry.Histogram
+
+	deltaAccepted *telemetry.Counter
+	deltaRefused  *telemetry.Counter
 }
 
 var metrics = sync.OnceValue(func() *serverMetrics {
@@ -56,5 +59,9 @@ var metrics = sync.OnceValue(func() *serverMetrics {
 		overlapHist: r.Histogram("fedsz_server_overlap_ratio",
 			"Per-update fraction of decode work hidden behind receive (0 = strictly sequential, 1 = fully overlapped).",
 			telemetry.RatioBuckets),
+		deltaAccepted: r.Counter("fedsz_server_delta_negotiations_total",
+			"FLS2 delta negotiations, by outcome.", telemetry.L("outcome", "accepted")),
+		deltaRefused: r.Counter("fedsz_server_delta_negotiations_total",
+			"FLS2 delta negotiations, by outcome.", telemetry.L("outcome", "refused")),
 	}
 })

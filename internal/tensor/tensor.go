@@ -240,7 +240,7 @@ func (sd *StateDict) Zero() *StateDict {
 // Either way the returned dict is all-zero with sd's names and kinds — the
 // allocation-free FedAvg accumulator path.
 func (sd *StateDict) ZeroInto(dst *StateDict) *StateDict {
-	if dst != nil && dst.checkCompatible(sd) == nil {
+	if dst != nil && dst.CheckCompatible(sd) == nil {
 		for _, e := range dst.entries {
 			clear(e.Tensor.Data)
 		}
@@ -262,7 +262,7 @@ func (sd *StateDict) ZeroInto(dst *StateDict) *StateDict {
 // dict is built and left as dst's when reusing — compatibility only
 // requires matching names and element counts.
 func (sd *StateDict) CloneInto(dst *StateDict) *StateDict {
-	if dst != nil && dst.checkCompatible(sd) == nil {
+	if dst != nil && dst.CheckCompatible(sd) == nil {
 		for i, e := range dst.entries {
 			copy(e.Tensor.Data, sd.entries[i].Tensor.Data)
 		}
@@ -281,7 +281,7 @@ func (sd *StateDict) CloneInto(dst *StateDict) *StateDict {
 // AddScaled accumulates alpha * other into sd element-wise. The two dicts
 // must have identical structure.
 func (sd *StateDict) AddScaled(other *StateDict, alpha float32) error {
-	if err := sd.checkCompatible(other); err != nil {
+	if err := sd.CheckCompatible(other); err != nil {
 		return err
 	}
 	for i, e := range sd.entries {
@@ -306,7 +306,7 @@ func (sd *StateDict) Scale(alpha float32) {
 
 // CopyFrom overwrites sd's values with other's. Structures must match.
 func (sd *StateDict) CopyFrom(other *StateDict) error {
-	if err := sd.checkCompatible(other); err != nil {
+	if err := sd.CheckCompatible(other); err != nil {
 		return err
 	}
 	for i, e := range sd.entries {
@@ -315,7 +315,12 @@ func (sd *StateDict) CopyFrom(other *StateDict) error {
 	return nil
 }
 
-func (sd *StateDict) checkCompatible(other *StateDict) error {
+// CheckCompatible reports whether other has the same structure as sd —
+// matching entry count, names in order, and per-entry element counts — the
+// precondition for every in-place accumulator operation. Callers that would
+// otherwise silently fall back to reallocation (ZeroInto, CloneInto) use it
+// to fail loudly instead when structure drift indicates a bug.
+func (sd *StateDict) CheckCompatible(other *StateDict) error {
 	if len(sd.entries) != len(other.entries) {
 		return fmt.Errorf("statedict: entry count mismatch %d != %d", len(sd.entries), len(other.entries))
 	}
@@ -335,7 +340,7 @@ func (sd *StateDict) checkCompatible(other *StateDict) error {
 // two structurally identical state dicts — the verification metric for
 // error-bounded round trips.
 func (sd *StateDict) MaxAbsDiff(other *StateDict) (float64, error) {
-	if err := sd.checkCompatible(other); err != nil {
+	if err := sd.CheckCompatible(other); err != nil {
 		return 0, err
 	}
 	var m float64
