@@ -342,6 +342,11 @@ func runPerfSnapshot(w io.Writer, outPath, baselinePath string) error {
 		return err
 	}
 
+	// Section-routed sharded ingest at P = 1, 2, 4.
+	if err := measureShardScaling(snap, record); err != nil {
+		return err
+	}
+
 	poolHits1, poolMisses1 := sched.BytePoolCounters()
 	floatHits1, floatMisses1 := sched.FloatPoolCounters()
 	snap.PoolHits, snap.PoolMisses = poolHits1-poolHits0, poolMisses1-poolMisses0

@@ -1,0 +1,88 @@
+package main
+
+// Shard-scaling leg of the perf snapshot: ingest a fixed batch of
+// wire-framed updates through the section-routed sharded aggregator at
+// P = 1, 2, 4 shards. The interesting numbers are the per-P ingest
+// throughputs and the derived p4-vs-p1 ratio; on a 1-CPU container the
+// ratio hovers near 1 (routing overhead vs fold parallelism), on real
+// hardware it tracks the fold's parallel speedup.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/ebcl"
+	"repro/internal/eblctest"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// shardFixture builds n compressed, wire-framed client updates sized like
+// the flserve test model (two weight tensors + bias, ~25 KB each framed).
+func shardFixture(n int) ([][]byte, int, error) {
+	framed := make([][]byte, n)
+	total := 0
+	for i := range framed {
+		rng := rand.New(rand.NewPCG(uint64(i)+1, 0x5ADE))
+		sd := tensor.NewStateDict()
+		sd.Add("conv.weight", tensor.KindWeight, tensor.FromData(eblctest.WeightLike(rng, 16384), 128, 128))
+		sd.Add("fc.weight", tensor.KindWeight, tensor.FromData(eblctest.WeightLike(rng, 8192), 8192))
+		b := tensor.New(128)
+		for j := range b.Data {
+			b.Data[j] = float32(0.01 * rng.NormFloat64())
+		}
+		sd.Add("conv.bias", tensor.KindBias, b)
+		stream, _, err := core.Compress(sd, core.Options{LossyParams: ebcl.Rel(1e-2)})
+		if err != nil {
+			return nil, 0, err
+		}
+		var buf bytes.Buffer
+		if err := wire.NewWriter(&buf).WriteStream(stream); err != nil {
+			return nil, 0, err
+		}
+		framed[i] = buf.Bytes()
+		total += buf.Len()
+	}
+	return framed, total, nil
+}
+
+// measureShardScaling records shard_ingest_p{1,2,4} and the derived
+// scaling ratio into the snapshot via the caller's record closure.
+func measureShardScaling(snap *perfSnapshot, record func(name string, bytesMoved int, fn func(b *testing.B)) perfEntry) error {
+	const updates = 4
+	framed, wireBytes, err := shardFixture(updates)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	entries := map[int]perfEntry{}
+	for _, p := range []int{1, 2, 4} {
+		sh := agg.New(agg.Config{Shards: p, Pool: sched.NewPool(p)})
+		var ingestErr error
+		entries[p] = record(fmt.Sprintf("shard_ingest_p%d", p), wireBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sh.Reset()
+				for c, f := range framed {
+					if _, _, err := sh.IngestStream(ctx, uint32(c), 1, core.DecodeOptions{}, bytes.NewReader(f)); err != nil {
+						ingestErr = err
+						b.Fatal(err)
+					}
+				}
+			}
+			sh.Reset()
+		})
+		if ingestErr != nil {
+			return ingestErr
+		}
+	}
+	if p1 := entries[1].NsPerOp; p1 > 0 {
+		snap.Derived["shard_ingest_scaling_p4_vs_p1"] = p1 / entries[4].NsPerOp
+	}
+	return nil
+}

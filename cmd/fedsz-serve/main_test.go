@@ -146,3 +146,50 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServeTwoTier wires the CLI pieces into an edge→root tree: a sharded
+// root, two edge serves pointed at it with -upstream, five clients split
+// across the edges. The root must fold exactly two fused updates whose
+// weights sum to the client population.
+func TestServeTwoTier(t *testing.T) {
+	rootReady := make(chan string, 1)
+	var rootOut bytes.Buffer
+	rootErr := make(chan error, 1)
+	go func() {
+		rootErr <- serve(serveOpts{addr: "127.0.0.1:0", parallel: 2, shards: 2, updates: 2, quiet: true, ready: rootReady, out: &rootOut})
+	}()
+	rootAddr := <-rootReady
+
+	runEdge := func(id uint32, clients int, seed uint64, out *bytes.Buffer) error {
+		ready := make(chan string, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- serve(serveOpts{addr: "127.0.0.1:0", parallel: 2, shards: 2, updates: clients, quiet: true,
+				upstream: rootAddr, edgeID: id, ready: ready, out: out})
+		}()
+		uploadN(t, <-ready, clients, seed)
+		return <-errCh
+	}
+	var outA, outB bytes.Buffer
+	if err := runEdge(1000, 3, 11, &outA); err != nil {
+		t.Fatalf("edge A: %v", err)
+	}
+	if err := runEdge(1001, 2, 13, &outB); err != nil {
+		t.Fatalf("edge B: %v", err)
+	}
+	if err := <-rootErr; err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	for name, out := range map[string]*bytes.Buffer{"edge A": &outA, "edge B": &outB} {
+		if !strings.Contains(out.String(), "forwarded fused update to "+rootAddr) {
+			t.Fatalf("%s did not forward upstream:\n%s", name, out.String())
+		}
+	}
+	if !strings.Contains(outA.String(), "(weight 3)") || !strings.Contains(outB.String(), "(weight 2)") {
+		t.Fatalf("edge weights wrong:\nA: %s\nB: %s", outA.String(), outB.String())
+	}
+	if !strings.Contains(rootOut.String(), "ingested 2 update(s)") ||
+		!strings.Contains(rootOut.String(), "FedAvg mean over 2") {
+		t.Fatalf("root summary wrong:\n%s", rootOut.String())
+	}
+}

@@ -182,13 +182,19 @@ func TestCompressedMatchesUncompressedWithinHalfPercentShape(t *testing.T) {
 // 48 samples) so the short suite still executes the full round pipeline:
 // broadcast → train → encode → batched server decode → aggregate → eval.
 func smokeFederation(t *testing.T, transport Transport, seed uint64) *Federation {
+	return shardedSmokeFederation(t, transport, seed, func(d *dataset.Dataset) []*dataset.Dataset {
+		return dataset.ShardIID(d, 2, seed)
+	})
+}
+
+func shardedSmokeFederation(t *testing.T, transport Transport, seed uint64, shard func(*dataset.Dataset) []*dataset.Dataset) *Federation {
 	t.Helper()
 	cfg, err := dataset.ScaledConfig("cifar10", 10, 48, 16, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	train, test := dataset.Generate(cfg)
-	shards := dataset.ShardIID(train, 2, seed)
+	shards := shard(train)
 	in := models.Input{Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
 	rng := rand.New(rand.NewPCG(seed, 1))
 	global, err := models.BuildMini("alexnet", rng, in)
@@ -237,6 +243,48 @@ func TestRoundPipelineSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRoundPipelineNonIIDSmoke runs the same 2-round pipeline over a
+// label-skewed Dirichlet(0.3) partition: federated rounds must complete
+// with intact accounting even when client label distributions diverge —
+// the non-IID regime the paper's FedAvg baseline is usually stressed
+// under.
+func TestRoundPipelineNonIIDSmoke(t *testing.T) {
+	const seed = 42
+	fed := shardedSmokeFederation(t, NewFedSZTransport(core.Options{LossyParams: ebcl.Rel(1e-2)}), seed,
+		func(d *dataset.Dataset) []*dataset.Dataset {
+			shards := dataset.ShardDirichlet(d, 2, 0.3, seed)
+			// The partition must actually be skewed, or this test is just
+			// TestRoundPipelineSmoke again.
+			counts := make([][]int, len(shards))
+			for i, s := range shards {
+				counts[i] = make([]int, d.Spec.Classes)
+				for _, l := range s.Labels {
+					counts[i][l]++
+				}
+			}
+			skewed := false
+			for cl := 0; cl < d.Spec.Classes; cl++ {
+				a, b := counts[0][cl], counts[1][cl]
+				if a+b >= 4 && (a == 0 || b == 0 || a >= 3*b || b >= 3*a) {
+					skewed = true
+				}
+			}
+			if !skewed {
+				t.Fatalf("Dirichlet(0.3) split not skewed: %v vs %v", counts[0], counts[1])
+			}
+			return shards
+		})
+	results, err := fed.Run(context.Background(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.RawBytes <= 0 || r.WireBytes <= 0 {
+			t.Fatal("byte accounting missing")
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"time"
 
@@ -22,6 +23,31 @@ import (
 // from a transport failure — the client's retry loop re-dials transport
 // failures but never retries a rejection.
 var ErrRejected = errors.New("flserve: server rejected update")
+
+// ErrShed marks an admission-control shed: the server was over its queue
+// depth and declined the connection before looking at the update. Unlike
+// a rejection, a shed is retryable by definition — nothing about the
+// update was judged — and the client's retry loop honours the server's
+// retry-after hint. Match with errors.Is(err, ErrShed); the concrete
+// *ShedError carries the hint.
+var ErrShed = errors.New("flserve: server shed connection (overloaded)")
+
+// ShedError is the typed form of a shed ack.
+type ShedError struct {
+	// RetryAfter is the server's suggested backoff before re-dialing.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("flserve: server shed connection (overloaded), retry after %v", e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) true.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// Temporary reports true: a shed is transient overload, not a verdict on
+// the update.
+func (e *ShedError) Temporary() bool { return true }
 
 // Client uploads FedSZ-compressed updates to an aggregation server.
 type Client struct {
@@ -58,6 +84,8 @@ type Session struct {
 	// true means uploads on this session may carry residual (v3) streams
 	// encoded against the negotiated reference epoch.
 	deltaAccepted bool
+	// weighted marks an FLS3 session: uploads go through UploadWeighted.
+	weighted bool
 }
 
 // DeltaAccepted reports whether the server agreed to decode residual (v3)
@@ -81,6 +109,31 @@ func (c *Client) Dial(ctx context.Context) (*Session, error) {
 	s := &Session{conn: conn, bw: bufio.NewWriterSize(dst, 64<<10)}
 	var magic [4]byte
 	binary.LittleEndian.PutUint32(magic[:], connMagic)
+	if _, err := s.bw.Write(magic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("flserve: session prelude: %w", err)
+	}
+	return s, nil
+}
+
+// DialWeighted opens a weighted (FLS3) session: every update on it
+// carries an explicit aggregation weight — the edge→root hop of a
+// hierarchical topology, where one fused update stands in for a whole
+// local population. Like Dial there is no handshake round trip; the
+// prelude is buffered until the first upload.
+func (c *Client) DialWeighted(ctx context.Context) (*Session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flserve: dial %s: %w", c.Addr, err)
+	}
+	var dst io.Writer = conn
+	if c.Link.BandwidthMbps > 0 {
+		dst = c.Link.ThrottleWriter(conn)
+	}
+	s := &Session{conn: conn, bw: bufio.NewWriterSize(dst, 64<<10), weighted: true}
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], connMagicWeighted)
 	if _, err := s.bw.Write(magic[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("flserve: session prelude: %w", err)
@@ -125,6 +178,17 @@ func (c *Client) DialDelta(ctx context.Context, epoch uint32) (*Session, error) 
 		conn.Close()
 		return nil, ctxErr(ctx, fmt.Errorf("flserve: delta negotiation: %w", err))
 	}
+	if accept[0] == ackShed {
+		// The server shed the connection before negotiating; surface the
+		// typed retryable error with its hint.
+		var hint [2]byte
+		shed := &ShedError{}
+		if _, err := io.ReadFull(conn, hint[:]); err == nil {
+			shed.RetryAfter = time.Duration(binary.LittleEndian.Uint16(hint[:])) * time.Millisecond
+		}
+		conn.Close()
+		return nil, ctxErr(ctx, shed)
+	}
 	s.deltaAccepted = accept[0] == 1
 	return s, nil
 }
@@ -162,18 +226,47 @@ func ctxErr(ctx context.Context, err error) error {
 
 // Upload sends one pre-compressed update (a serialized FedSZ stream) under
 // the given client ID and waits for the server's ack: a nil return means
-// the server decoded and folded the update.
+// the server decoded and folded the update. On a weighted (FLS3) session
+// it sends weight 1; use UploadWeighted to declare a population weight.
 func (s *Session) Upload(ctx context.Context, clientID uint32, stream []byte) error {
+	return s.UploadWeighted(ctx, clientID, 1, stream)
+}
+
+// UploadWeighted is Upload declaring an explicit aggregation weight — an
+// edge aggregator forwarding the fused mean of n clients uploads it with
+// weight n, so the upstream fold counts it as n clients' worth. The
+// session must have been opened with DialWeighted unless weight is 1
+// (FLS1/FLS2 sessions have no weight field on the wire).
+func (s *Session) UploadWeighted(ctx context.Context, clientID uint32, weight float64, stream []byte) error {
 	defer s.arm(ctx)()
-	var idb [4]byte
-	binary.LittleEndian.PutUint32(idb[:], clientID)
-	if _, err := s.bw.Write(idb[:]); err != nil {
-		return ctxErr(ctx, fmt.Errorf("flserve: upload prelude: %w", err))
+	if err := s.writeUpdatePrelude(clientID, weight); err != nil {
+		return ctxErr(ctx, err)
 	}
 	if err := wire.NewWriter(s.bw).WriteStream(stream); err != nil {
 		return ctxErr(ctx, fmt.Errorf("flserve: upload: %w", err))
 	}
 	return s.finishUpdate(ctx)
+}
+
+// writeUpdatePrelude emits the per-update clientID (and, on weighted
+// sessions, the weight field).
+func (s *Session) writeUpdatePrelude(clientID uint32, weight float64) error {
+	if weight != 1 && !s.weighted {
+		return fmt.Errorf("flserve: weighted upload on unweighted session (use DialWeighted)")
+	}
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], clientID)
+	if _, err := s.bw.Write(idb[:]); err != nil {
+		return fmt.Errorf("flserve: upload prelude: %w", err)
+	}
+	if s.weighted {
+		var wb [8]byte
+		binary.LittleEndian.PutUint64(wb[:], math.Float64bits(weight))
+		if _, err := s.bw.Write(wb[:]); err != nil {
+			return fmt.Errorf("flserve: upload prelude: %w", err)
+		}
+	}
+	return nil
 }
 
 // UploadState compresses sd straight into the session's wire framer — the
@@ -184,10 +277,8 @@ func (s *Session) Upload(ctx context.Context, clientID uint32, stream []byte) er
 // EncodeOverlapRatio for the overlap actually achieved.
 func (s *Session) UploadState(ctx context.Context, clientID uint32, sd *tensor.StateDict, opts core.Options, pool *sched.Pool) (*core.Stats, error) {
 	defer s.arm(ctx)()
-	var idb [4]byte
-	binary.LittleEndian.PutUint32(idb[:], clientID)
-	if _, err := s.bw.Write(idb[:]); err != nil {
-		return nil, ctxErr(ctx, fmt.Errorf("flserve: upload prelude: %w", err))
+	if err := s.writeUpdatePrelude(clientID, 1); err != nil {
+		return nil, ctxErr(ctx, err)
 	}
 	stats, err := wire.EncodeStream(ctx, pool, wire.NewWriter(s.bw), sd, opts)
 	if err != nil {
@@ -219,6 +310,20 @@ func (c *Client) Upload(ctx context.Context, clientID uint32, stream []byte) err
 		}
 		defer s.Close()
 		return s.Upload(actx, clientID, stream)
+	})
+}
+
+// UploadWeighted dials a weighted (FLS3) session, sends one update with
+// the given aggregation weight, and waits for the ack, retrying transport
+// failures and sheds per the client's policy.
+func (c *Client) UploadWeighted(ctx context.Context, clientID uint32, weight float64, stream []byte) error {
+	return c.withRetry(ctx, func(actx context.Context) error {
+		s, err := c.DialWeighted(actx)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		return s.UploadWeighted(actx, clientID, weight, stream)
 	})
 }
 
@@ -262,8 +367,15 @@ func (c *Client) withRetry(ctx context.Context, attempt func(context.Context) er
 		if err == nil || errors.Is(err, ErrRejected) || ctx.Err() != nil || try >= c.Retries {
 			return err
 		}
+		wait := backoff
+		// A shed carries the server's own backoff suggestion; never retry
+		// sooner than the server asked.
+		var shed *ShedError
+		if errors.As(err, &shed) && shed.RetryAfter > wait {
+			wait = shed.RetryAfter
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -282,8 +394,15 @@ func readAck(conn net.Conn) error {
 	if _, err := io.ReadFull(conn, status[:]); err != nil {
 		return fmt.Errorf("flserve: reading ack: %w", err)
 	}
-	if status[0] == 0 {
+	switch status[0] {
+	case ackAccepted:
 		return nil
+	case ackShed:
+		var hint [2]byte
+		if _, err := io.ReadFull(conn, hint[:]); err != nil {
+			return &ShedError{}
+		}
+		return &ShedError{RetryAfter: time.Duration(binary.LittleEndian.Uint16(hint[:])) * time.Millisecond}
 	}
 	var msgLen [2]byte
 	if _, err := io.ReadFull(conn, msgLen[:]); err != nil {

@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -71,8 +72,23 @@ const (
 	// back to absolute uploads. FLS1 connections skip the exchange entirely,
 	// so pre-delta clients are wire-compatible byte for byte.
 	connMagicDelta = 0x464C5332 // "FLS2"
+	// connMagicWeighted opens a weighted-update connection (the edge→root
+	// hop of a hierarchical topology): every update carries an 8-byte
+	// weight between the clientID and the wire stream, so an edge
+	// aggregator can forward one fused update that counts for its whole
+	// local population. There is no handshake reply — like FLS1 — and FLS1
+	// connections are unchanged (implicit weight 1).
+	connMagicWeighted = 0x464C5333 // "FLS3"
 	// ackMsgLimit truncates error messages echoed to clients.
 	ackMsgLimit = 512
+
+	// Ack status bytes. A shed ack carries a u16 retry-after hint in
+	// milliseconds instead of a message — the explicit reject-newest
+	// admission policy, distinct from a rejection so clients classify it as
+	// retryable congestion, never as corruption.
+	ackAccepted = 0
+	ackRejected = 1
+	ackShed     = 2
 )
 
 // Update is one decoded client update delivered to the handler.
@@ -85,6 +101,11 @@ type Update struct {
 	Remote string
 	// State is the decoded state dict; the handler takes ownership.
 	State *tensor.StateDict
+	// Weight is the update's aggregation weight: 1 for FLS1/FLS2 uploads,
+	// the sender-declared population weight for FLS3 (an edge forwarding
+	// the fused mean of n clients sends weight n). Handlers fold
+	// weight-scaled sums and divide by the weight total.
+	Weight float64
 	// WireBytes counts the bytes this update occupied on the wire: its
 	// share of the connection prelude, the clientID, and the full wire
 	// stream (framing plus payload), computed from the de-framer's logical
@@ -104,11 +125,31 @@ type Config struct {
 	// MaxConns bounds concurrently served connections (0 selects
 	// 4×GOMAXPROCS). The accept loop blocks when the bound is reached.
 	MaxConns int
+	// QueueDepth switches admission control from accept-loop backpressure
+	// to explicit load shedding: connections beyond the MaxConns serving
+	// set wait in a bounded queue of this depth, and arrivals past the
+	// queue are shed — acked with a retry-after hint and closed — instead
+	// of piling into the listener backlog. 0 keeps the legacy discipline
+	// (the accept loop blocks on a slot before accepting, so the kernel
+	// backlog absorbs bursts). Shedding makes overload predictable: memory
+	// stays O(MaxConns + QueueDepth) and excess clients learn to back off
+	// immediately rather than timing out in the backlog.
+	QueueDepth int
+	// RetryAfterHint is the backoff the shed ack suggests to clients
+	// (0 selects 100 ms; capped at ~65 s by the wire field).
+	RetryAfterHint time.Duration
 	// Handler receives each successfully decoded update. It may be called
 	// concurrently from different connections; an error rejects the update
 	// (the client sees a non-zero ack) without stopping the server.
-	// Required.
+	// Exactly one of Handler and Ingestor is required.
 	Handler func(Update) error
+	// Ingestor, when non-nil, replaces the whole-stream decode + Handler
+	// pair: the server hands it each update's framed byte stream directly,
+	// so a section-routing implementation (internal/agg.Sharded) can
+	// dispatch wire frames to aggregator shards without materializing the
+	// decoded state dict on the connection goroutine. Acks, metrics, and
+	// timeout handling stay with the server.
+	Ingestor StreamIngestor
 	// IdleTimeout bounds how long a connection may sit without delivering
 	// a byte before it is dropped, so a stalled client cannot pin a
 	// MaxConns slot forever (0 selects 2 minutes; negative disables). The
@@ -136,8 +177,24 @@ type Config struct {
 	RefProvider func(epoch uint32) *tensor.StateDict
 }
 
+// StreamIngestor consumes one wire-framed update directly from the
+// connection — the section-routed alternative to the built-in
+// decode-then-Handler path. Implementations must read the update's wire
+// stream from r through its trailer (the server acks only on a nil
+// return), fold it, and report the wire byte count plus decode stats for
+// the server's accounting. Calls arrive concurrently from different
+// connections. An error rejects the update and drops the connection;
+// corruption must surface as core.ErrCorrupt-wrapped errors and reference
+// mismatches as core.ErrReference, exactly like the built-in path.
+type StreamIngestor interface {
+	IngestStream(ctx context.Context, client uint32, weight float64, dopts core.DecodeOptions, r io.Reader) (int64, core.DecompressStats, error)
+}
+
 // defaultIdleTimeout is Config.IdleTimeout's zero-value default.
 const defaultIdleTimeout = 2 * time.Minute
+
+// defaultRetryAfterHint is Config.RetryAfterHint's zero-value default.
+const defaultRetryAfterHint = 100 * time.Millisecond
 
 // Stats aggregates what a Server has ingested so far. Obtain one from
 // Server.Snapshot (atomics-backed, safe to call while connections are
@@ -147,6 +204,9 @@ type Stats struct {
 	Updates int
 	// Rejected counts connections that failed protocol, decode, or handler.
 	Rejected int
+	// Shed counts connections refused by admission control (QueueDepth
+	// exceeded) — load the server declined, not failures.
+	Shed int
 	// WireBytes sums raw socket bytes across accepted updates.
 	WireBytes int64
 	// ReadWait, DecodeWork, and Wall sum the corresponding per-update
@@ -185,7 +245,11 @@ type Server struct {
 	ln   net.Listener
 	pool *sched.Pool
 	sem  chan struct{}
-	wg   sync.WaitGroup
+	// queue is the bounded admission queue (QueueDepth > 0 only): the
+	// accept loop enqueues, the dispatch loop waits for a serving slot,
+	// and an arrival finding the queue full is shed.
+	queue chan net.Conn
+	wg    sync.WaitGroup
 
 	closed atomic.Bool
 
@@ -194,6 +258,7 @@ type Server struct {
 	// races — the per-connection goroutines updating them.
 	updates       atomic.Int64
 	rejected      atomic.Int64
+	shed          atomic.Int64
 	wireBytes     atomic.Int64
 	readWaitNS    atomic.Int64
 	decodeWorkNS  atomic.Int64
@@ -213,8 +278,8 @@ func Listen(addr string, cfg Config) (*Server, error) {
 
 // Serve starts a server on an existing listener and takes ownership of it.
 func Serve(ln net.Listener, cfg Config) *Server {
-	if cfg.Handler == nil {
-		panic("flserve: Config.Handler is required")
+	if (cfg.Handler == nil) == (cfg.Ingestor == nil) {
+		panic("flserve: exactly one of Config.Handler and Config.Ingestor is required")
 	}
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 4 * runtime.GOMAXPROCS(0)
@@ -225,6 +290,9 @@ func Serve(ln net.Listener, cfg Config) *Server {
 	case cfg.IdleTimeout < 0:
 		cfg.IdleTimeout = 0
 	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = defaultRetryAfterHint
+	}
 	s := &Server{
 		cfg:  cfg,
 		ln:   ln,
@@ -233,7 +301,14 @@ func Serve(ln net.Listener, cfg Config) *Server {
 	}
 	metrics().maxConns.Set(float64(cfg.MaxConns))
 	s.wg.Add(1)
-	go s.acceptLoop()
+	if cfg.QueueDepth > 0 {
+		s.queue = make(chan net.Conn, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.dispatchLoop()
+		go s.shedAcceptLoop()
+	} else {
+		go s.acceptLoop()
+	}
 	return s
 }
 
@@ -250,6 +325,7 @@ func (s *Server) Snapshot() Stats {
 	return Stats{
 		Updates:       int(s.updates.Load()),
 		Rejected:      int(s.rejected.Load()),
+		Shed:          int(s.shed.Load()),
 		WireBytes:     s.wireBytes.Load(),
 		ReadWait:      time.Duration(s.readWaitNS.Load()),
 		DecodeWork:    time.Duration(s.decodeWorkNS.Load()),
@@ -304,6 +380,78 @@ func (s *Server) acceptLoop() {
 			s.handleConn(conn)
 		}()
 	}
+}
+
+// shedAcceptLoop is the QueueDepth > 0 admission policy: accept eagerly,
+// queue up to QueueDepth connections behind the MaxConns serving set, and
+// shed (reject-newest) everything beyond — the newest arrival is the one
+// turned away, since the queued ones have already waited. Closing the
+// listener ends the loop; the queue channel is then closed so the
+// dispatcher can drain and shed whatever was still waiting.
+func (s *Server) shedAcceptLoop() {
+	defer s.wg.Done()
+	defer close(s.queue)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		m := metrics()
+		m.connsAccepted.Inc()
+		select {
+		case s.queue <- conn:
+			m.queueDepth.Inc()
+		default:
+			s.shedConn(conn)
+		}
+	}
+}
+
+// dispatchLoop feeds queued connections into serving slots. It owns the
+// receive side of the queue; after the accept loop closes the channel,
+// the remaining queued connections are shed rather than served, so Close
+// never strands a client waiting for a slot that will not come.
+func (s *Server) dispatchLoop() {
+	defer s.wg.Done()
+	m := metrics()
+	for conn := range s.queue {
+		m.queueDepth.Dec()
+		if s.isClosed() {
+			s.shedConn(conn)
+			continue
+		}
+		s.sem <- struct{}{}
+		m.connsActive.Inc()
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			defer m.connsActive.Dec()
+			s.handleConn(conn)
+		}(conn)
+	}
+}
+
+// shedConn acks a shed — status byte 2 plus the retry-after hint in
+// milliseconds — and closes the connection. The write races the client's
+// own upload harmlessly: the client reads the ack when it next looks for
+// one, and a client that never looks just sees the close.
+func (s *Server) shedConn(conn net.Conn) {
+	s.shed.Add(1)
+	metrics().shed.Inc()
+	ms := s.cfg.RetryAfterHint.Milliseconds()
+	if ms > 65535 {
+		ms = 65535
+	}
+	buf := [3]byte{ackShed}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(ms))
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	conn.Write(buf[:])                                     //nolint:errcheck — the close is the message of last resort
+	conn.Close()
 }
 
 // timeoutKind classifies which bound cut a connection, for the
@@ -391,9 +539,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	preludeBytes := int64(len(magic))
+	weighted := false
 	var dopts core.DecodeOptions
 	switch binary.LittleEndian.Uint32(magic[:]) {
 	case connMagic:
+	case connMagicWeighted:
+		weighted = true
 	case connMagicDelta:
 		// Delta negotiation: the client proposes a reference epoch; accept
 		// only when RefProvider holds that exact baseline, else answer 0 and
@@ -444,6 +595,23 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		client := binary.LittleEndian.Uint32(idb[:])
+		weight := 1.0
+		preludeLen := int64(len(idb))
+		if weighted {
+			var wb [8]byte
+			if _, err := io.ReadFull(br, wb[:]); err != nil {
+				rejected++
+				s.rejectConn(conn, fmt.Errorf("%w: update weight: %v", core.ErrCorrupt, err))
+				return
+			}
+			preludeLen += int64(len(wb))
+			weight = math.Float64frombits(binary.LittleEndian.Uint64(wb[:]))
+			if !(weight > 0) || math.IsInf(weight, 0) {
+				rejected++
+				s.rejectConn(conn, fmt.Errorf("%w: update weight %v", core.ErrCorrupt, weight))
+				return
+			}
+		}
 		start := time.Now()
 
 		ctx := context.Background()
@@ -452,17 +620,31 @@ func (s *Server) handleConn(conn net.Conn) {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.UploadTimeout)
 			cr.deadline = time.Now().Add(s.cfg.UploadTimeout)
 		}
-		u, err := s.ingestUpdate(ctx, br, client, dopts)
+		var u *Update
+		var err error
+		if s.cfg.Ingestor != nil {
+			var wireBytes int64
+			var dstats core.DecompressStats
+			wireBytes, dstats, err = s.cfg.Ingestor.IngestStream(ctx, client, weight, dopts, br)
+			if err == nil {
+				u = &Update{Client: client, Weight: weight, WireBytes: wireBytes, Stats: dstats}
+			}
+		} else {
+			u, err = s.ingestUpdate(ctx, br, client, dopts)
+		}
 		cancel()
 		cr.deadline = time.Time{}
 
 		if err == nil {
 			u.Remote = remote
-			u.WireBytes += int64(len(idb))
+			u.Weight = weight
+			u.WireBytes += preludeLen
 			if first {
 				u.WireBytes += preludeBytes
 			}
-			err = s.cfg.Handler(*u)
+			if s.cfg.Handler != nil {
+				err = s.cfg.Handler(*u)
+			}
 		}
 		first = false
 		if err != nil {
@@ -537,7 +719,7 @@ func (s *Server) ingestUpdate(ctx context.Context, br *bufio.Reader, client uint
 
 func writeAck(conn net.Conn, err error) {
 	if err == nil {
-		conn.Write([]byte{0}) //nolint:errcheck — client failure is its problem
+		conn.Write([]byte{ackAccepted}) //nolint:errcheck — client failure is its problem
 		return
 	}
 	msg := err.Error()
@@ -545,7 +727,7 @@ func writeAck(conn net.Conn, err error) {
 		msg = msg[:ackMsgLimit]
 	}
 	buf := make([]byte, 0, 3+len(msg))
-	buf = append(buf, 1)
+	buf = append(buf, ackRejected)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
 	buf = append(buf, msg...)
 	conn.Write(buf) //nolint:errcheck
@@ -572,11 +754,17 @@ type Aggregator struct {
 	mu   sync.Mutex
 	sum  *tensor.StateDict
 	n    int
+	wsum float64
 	seen map[uint32]bool
 }
 
 // Add folds one update into the accumulator; it is the Handler for an
 // aggregating server. The first update defines the expected structure.
+// A weighted update (FLS3, Update.Weight ≠ 1) contributes weight-scaled:
+// the accumulator becomes Σ wᵢ·updateᵢ and Mean divides by Σ wᵢ, so an
+// edge forwarding the fused mean of n clients at weight n contributes
+// exactly as its n clients would have. All-weight-1 traffic folds
+// bit-identically to the historical unweighted path.
 func (a *Aggregator) Add(u Update) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -592,15 +780,24 @@ func (a *Aggregator) Add(u Update) error {
 		}
 		a.seen[u.Client] = true
 	}
+	w := u.Weight
+	if w == 0 {
+		w = 1
+	}
 	if a.sum == nil {
 		a.sum = u.State
+		if w != 1 {
+			a.sum.Scale(float32(w))
+		}
 		a.n = 1
+		a.wsum = w
 		return nil
 	}
-	if err := a.sum.AddScaled(u.State, 1); err != nil {
+	if err := a.sum.AddScaled(u.State, float32(w)); err != nil {
 		return fmt.Errorf("flserve: aggregate client %d: %w", u.Client, err)
 	}
 	a.n++
+	a.wsum += w
 	// The update is folded and dead; its pool-backed tensor buffers feed
 	// the next in-flight decode — the server's steady-state zero-alloc
 	// loop.
@@ -613,6 +810,15 @@ func (a *Aggregator) Count() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.n
+}
+
+// WeightSum returns the total aggregation weight folded so far — equal to
+// Count for unweighted traffic, the represented population size when
+// edges forward weighted fused updates.
+func (a *Aggregator) WeightSum() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.wsum
 }
 
 // Mean returns the FedAvg mean of the folded updates (a copy over pooled
@@ -642,6 +848,12 @@ func (a *Aggregator) MeanInto(dst *tensor.StateDict) (*tensor.StateDict, int, er
 		}
 	}
 	out := a.sum.CloneInto(dst)
-	out.Scale(1 / float32(a.n))
+	if a.wsum == float64(a.n) {
+		// Unweighted traffic: keep the historical float32 divide so the
+		// mean stays bit-identical to pre-weighting servers.
+		out.Scale(1 / float32(a.n))
+	} else {
+		out.Scale(float32(1 / a.wsum))
+	}
 	return out, a.n, nil
 }

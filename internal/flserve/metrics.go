@@ -19,6 +19,8 @@ type serverMetrics struct {
 	maxConns      *telemetry.Gauge
 	idleKills     *telemetry.Counter
 	uploadKills   *telemetry.Counter
+	shed          *telemetry.Counter
+	queueDepth    *telemetry.Gauge
 
 	updates         *telemetry.Counter
 	updatesRejected *telemetry.Counter
@@ -46,6 +48,10 @@ var metrics = sync.OnceValue(func() *serverMetrics {
 			"Connections killed by a timeout, by kind.", telemetry.L("kind", "idle")),
 		uploadKills: r.Counter("fedsz_server_timeout_kills_total",
 			"Connections killed by a timeout, by kind.", telemetry.L("kind", "upload")),
+		shed: r.Counter("fedsz_server_shed_total",
+			"Connections refused by admission control (ingest queue full) — load declined, not failures."),
+		queueDepth: r.Gauge("fedsz_server_queue_depth",
+			"Connections waiting in the bounded ingest queue for a serving slot."),
 		updates: r.Counter("fedsz_server_updates_total",
 			"Updates decoded, verified, and folded by the handler."),
 		updatesRejected: r.Counter("fedsz_server_updates_rejected_total",

@@ -210,32 +210,29 @@ func EncodeStream(ctx context.Context, pool *sched.Pool, w *Writer, sd *tensor.S
 	return stats, nil
 }
 
-// Reader de-frames a wire stream from r, implementing io.Reader over the
-// reassembled payload byte sequence (the FedSZ stream). Every frame's CRC
-// is verified before any of its bytes are surfaced, and the trailer's
-// stream-level CRC and counts are verified before the final io.EOF, so a
-// caller that reaches io.EOF has read an intact stream. All framing
-// violations wrap core.ErrCorrupt.
-type Reader struct {
+// FrameScanner reads a wire stream frame by frame: each Next returns one
+// verified payload-bearing frame, and the terminal io.EOF means the
+// trailer's stream-level CRC and counts checked out. This is the layer an
+// ingest front-end routes on — frames can be dispatched to independent
+// decoders without ever reassembling the full stream. Reader is a thin
+// io.Reader built on top of it.
+type FrameScanner struct {
 	r            io.Reader
 	started      bool
 	done         bool
-	err          error
-	buf          []byte // current frame payload (pooled)
-	off          int
 	frames       uint32
 	payloadBytes uint64
 	streamCRC    uint32
 }
 
-// NewReader returns a Reader de-framing from r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+// NewFrameScanner returns a FrameScanner de-framing from r.
+func NewFrameScanner(r io.Reader) *FrameScanner { return &FrameScanner{r: r} }
 
 // Frames returns the number of payload-bearing frames consumed so far.
-func (r *Reader) Frames() int { return int(r.frames) }
+func (s *FrameScanner) Frames() int { return int(s.frames) }
 
-// PayloadBytes returns the reassembled payload bytes consumed so far.
-func (r *Reader) PayloadBytes() int64 { return int64(r.payloadBytes) }
+// PayloadBytes returns the payload bytes consumed so far.
+func (s *FrameScanner) PayloadBytes() int64 { return int64(s.payloadBytes) }
 
 // WireBytes returns the encoded length of the wire stream consumed so far
 // — preamble, frame headers, payloads, CRCs, and (once verified) the
@@ -243,16 +240,138 @@ func (r *Reader) PayloadBytes() int64 { return int64(r.payloadBytes) }
 // the stream occupied on the wire, independent of how the underlying
 // reader buffered — the accounting a multi-update connection needs, where
 // read-ahead may already hold the next stream's bytes.
-func (r *Reader) WireBytes() int64 {
-	n := int64(frameHeaderLen+4)*int64(r.frames) + int64(r.payloadBytes)
-	if r.started {
+func (s *FrameScanner) WireBytes() int64 {
+	n := int64(frameHeaderLen+4)*int64(s.frames) + int64(s.payloadBytes)
+	if s.started {
 		n += 5 // preamble
 	}
-	if r.done {
+	if s.done {
 		n += frameHeaderLen + trailerLen + 4
 	}
 	return n
 }
+
+func (s *FrameScanner) readFull(buf []byte, context string) error {
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return corruptf("%s: %v", context, err)
+	}
+	return nil
+}
+
+// Next reads and verifies the next frame. It returns the frame kind and
+// its payload in a pooled buffer whose ownership transfers to the caller —
+// release it with sched.PutBytes when done. After the trailer verifies,
+// Next returns io.EOF (the trailer payload itself is consumed internally).
+// All framing violations wrap core.ErrCorrupt; a scanner that returned an
+// error must not be used again.
+func (s *FrameScanner) Next() (byte, []byte, error) {
+	if s.done {
+		return 0, nil, io.EOF
+	}
+	if !s.started {
+		var pre [5]byte
+		if err := s.readFull(pre[:], "preamble"); err != nil {
+			return 0, nil, err
+		}
+		if binary.LittleEndian.Uint32(pre[:]) != streamMagic {
+			return 0, nil, corruptf("bad magic")
+		}
+		if pre[4] != streamVersion {
+			return 0, nil, corruptf("unsupported version %d", pre[4])
+		}
+		s.started = true
+	}
+	var hdr [frameHeaderLen]byte
+	if err := s.readFull(hdr[:], "frame header"); err != nil {
+		return 0, nil, err
+	}
+	kind := hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, corruptf("frame payload %d exceeds limit", n)
+	}
+	switch kind {
+	case FrameHeader, FrameTensor, FrameLossless:
+		if s.frames == 0 && kind != FrameHeader {
+			return 0, nil, corruptf("first frame kind 0x%02x, want header", kind)
+		}
+	case FrameTrailer:
+		if n != trailerLen {
+			return 0, nil, corruptf("trailer payload %d bytes, want %d", n, trailerLen)
+		}
+	default:
+		return 0, nil, corruptf("unknown frame kind 0x%02x", kind)
+	}
+
+	// Receive the payload into a pooled buffer that grows with the bytes
+	// actually received, so a hostile length cannot force a large
+	// allocation up front.
+	want := int(n)
+	buf, err := sched.ReadFullPooled(s.r, want)
+	if err != nil {
+		return 0, nil, corruptf("frame payload: %v", err)
+	}
+	var crcBuf [4]byte
+	if err := s.readFull(crcBuf[:], "frame crc"); err != nil {
+		sched.PutBytes(buf)
+		return 0, nil, err
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, buf)
+	if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
+		sched.PutBytes(buf)
+		return 0, nil, corruptf("frame crc mismatch (kind 0x%02x, %d bytes)", kind, want)
+	}
+
+	if kind == FrameTrailer {
+		frames := binary.LittleEndian.Uint32(buf[0:])
+		payloadBytes := binary.LittleEndian.Uint64(buf[4:])
+		streamCRC := binary.LittleEndian.Uint32(buf[12:])
+		sched.PutBytes(buf)
+		if frames != s.frames {
+			return 0, nil, corruptf("trailer frame count %d, received %d", frames, s.frames)
+		}
+		if payloadBytes != s.payloadBytes {
+			return 0, nil, corruptf("trailer payload bytes %d, received %d", payloadBytes, s.payloadBytes)
+		}
+		if streamCRC != s.streamCRC {
+			return 0, nil, corruptf("stream crc mismatch")
+		}
+		s.done = true
+		return 0, nil, io.EOF
+	}
+	s.frames++
+	s.payloadBytes += uint64(want)
+	s.streamCRC = crc32.Update(s.streamCRC, crc32.IEEETable, buf)
+	return kind, buf, nil
+}
+
+// Reader de-frames a wire stream from r, implementing io.Reader over the
+// reassembled payload byte sequence (the FedSZ stream). Every frame's CRC
+// is verified before any of its bytes are surfaced, and the trailer's
+// stream-level CRC and counts are verified before the final io.EOF, so a
+// caller that reaches io.EOF has read an intact stream. All framing
+// violations wrap core.ErrCorrupt.
+type Reader struct {
+	s    FrameScanner
+	done bool
+	err  error
+	buf  []byte // current frame payload (pooled)
+	off  int
+}
+
+// NewReader returns a Reader de-framing from r.
+func NewReader(r io.Reader) *Reader { return &Reader{s: FrameScanner{r: r}} }
+
+// Frames returns the number of payload-bearing frames consumed so far.
+func (r *Reader) Frames() int { return r.s.Frames() }
+
+// PayloadBytes returns the reassembled payload bytes consumed so far.
+func (r *Reader) PayloadBytes() int64 { return r.s.PayloadBytes() }
+
+// WireBytes returns the encoded length of the wire stream consumed so far;
+// see FrameScanner.WireBytes.
+func (r *Reader) WireBytes() int64 { return r.s.WireBytes() }
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -268,11 +387,19 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if r.done {
 			return 0, io.EOF
 		}
-		if err := r.nextFrame(); err != nil {
+		sched.PutBytes(r.buf)
+		r.buf, r.off = nil, 0
+		_, buf, err := r.s.Next()
+		if err == io.EOF {
+			r.done = true
+			continue
+		}
+		if err != nil {
 			r.fail(err)
 			return 0, err
 		}
-		if len(p) == 0 && !r.done {
+		r.buf = buf
+		if len(p) == 0 {
 			return 0, nil
 		}
 	}
@@ -283,97 +410,6 @@ func (r *Reader) fail(err error) {
 	r.err = err
 	sched.PutBytes(r.buf)
 	r.buf, r.off = nil, 0
-}
-
-func (r *Reader) readFull(buf []byte, context string) error {
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		return corruptf("%s: %v", context, err)
-	}
-	return nil
-}
-
-// nextFrame reads and verifies one frame. On return either r.buf holds a
-// fresh payload, or r.done is set (trailer verified).
-func (r *Reader) nextFrame() error {
-	if !r.started {
-		var pre [5]byte
-		if err := r.readFull(pre[:], "preamble"); err != nil {
-			return err
-		}
-		if binary.LittleEndian.Uint32(pre[:]) != streamMagic {
-			return corruptf("bad magic")
-		}
-		if pre[4] != streamVersion {
-			return corruptf("unsupported version %d", pre[4])
-		}
-		r.started = true
-	}
-	var hdr [frameHeaderLen]byte
-	if err := r.readFull(hdr[:], "frame header"); err != nil {
-		return err
-	}
-	kind := hdr[0]
-	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFramePayload {
-		return corruptf("frame payload %d exceeds limit", n)
-	}
-	switch kind {
-	case FrameHeader, FrameTensor, FrameLossless:
-		if r.frames == 0 && kind != FrameHeader {
-			return corruptf("first frame kind 0x%02x, want header", kind)
-		}
-	case FrameTrailer:
-		if n != trailerLen {
-			return corruptf("trailer payload %d bytes, want %d", n, trailerLen)
-		}
-	default:
-		return corruptf("unknown frame kind 0x%02x", kind)
-	}
-
-	// Receive the payload into a pooled buffer that grows with the bytes
-	// actually received, so a hostile length cannot force a large
-	// allocation up front.
-	want := int(n)
-	sched.PutBytes(r.buf)
-	r.buf, r.off = nil, 0
-	buf, err := sched.ReadFullPooled(r.r, want)
-	if err != nil {
-		return corruptf("frame payload: %v", err)
-	}
-	var crcBuf [4]byte
-	if err := r.readFull(crcBuf[:], "frame crc"); err != nil {
-		sched.PutBytes(buf)
-		return err
-	}
-	crc := crc32.ChecksumIEEE(hdr[:])
-	crc = crc32.Update(crc, crc32.IEEETable, buf)
-	if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
-		sched.PutBytes(buf)
-		return corruptf("frame crc mismatch (kind 0x%02x, %d bytes)", kind, want)
-	}
-
-	if kind == FrameTrailer {
-		frames := binary.LittleEndian.Uint32(buf[0:])
-		payloadBytes := binary.LittleEndian.Uint64(buf[4:])
-		streamCRC := binary.LittleEndian.Uint32(buf[12:])
-		sched.PutBytes(buf)
-		if frames != r.frames {
-			return corruptf("trailer frame count %d, received %d", frames, r.frames)
-		}
-		if payloadBytes != r.payloadBytes {
-			return corruptf("trailer payload bytes %d, received %d", payloadBytes, r.payloadBytes)
-		}
-		if streamCRC != r.streamCRC {
-			return corruptf("stream crc mismatch")
-		}
-		r.done = true
-		return nil
-	}
-	r.buf, r.off = buf, 0
-	r.frames++
-	r.payloadBytes += uint64(want)
-	r.streamCRC = crc32.Update(r.streamCRC, crc32.IEEETable, buf)
-	return nil
 }
 
 // Close releases the Reader's receive buffer. Reading after Close returns
