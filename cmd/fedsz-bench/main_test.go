@@ -115,6 +115,8 @@ func TestPerfSnapshotSmoke(t *testing.T) {
 		"huffman_decode_table", "huffman_decode_reference",
 		"huffman_encode_bulk", "huffman_decode_bulk",
 		"sz2_compress", "sz2_decompress", "sz3_compress", "sz3_decompress",
+		"chunk_encode_chunked", "chunk_encode_unchunked",
+		"chunk_decode_chunked", "chunk_decode_unchunked",
 	} {
 		if !names[want] {
 			t.Fatalf("snapshot missing benchmark %q (have %v)", want, names)
@@ -122,5 +124,57 @@ func TestPerfSnapshotSmoke(t *testing.T) {
 	}
 	if s := snap.Derived["huffman_decode_speedup_table_vs_reference"]; s <= 1 {
 		t.Fatalf("table decoder not faster than reference (speedup %.2f)", s)
+	}
+}
+
+// TestChunkSpeedupGateClassMatched locks the multicore gate's CPU-class
+// matching: the chunk speedup floor applies only when both the committed
+// baseline and the current host are multicore-class, so a 1-CPU CI
+// container can diff a workstation baseline without false failures.
+func TestChunkSpeedupGateClassMatched(t *testing.T) {
+	writeBaseline := func(t *testing.T, numCPU int, speedup float64) string {
+		t.Helper()
+		base := perfSnapshot{
+			Schema: perfSchema,
+			NumCPU: numCPU,
+			Derived: map[string]float64{
+				"chunk_encode_speedup": speedup,
+				"chunk_decode_speedup": speedup,
+			},
+		}
+		data, err := json.Marshal(&base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	snap := func(numCPU int, speedup float64) *perfSnapshot {
+		return &perfSnapshot{
+			Schema: perfSchema,
+			NumCPU: numCPU,
+			Derived: map[string]float64{
+				"chunk_encode_speedup": speedup,
+				"chunk_decode_speedup": speedup,
+			},
+		}
+	}
+
+	// Class mismatch in either direction: floor never applies.
+	if err := checkPerfBaseline(snap(1, 0.9), writeBaseline(t, 8, 3.0)); err != nil {
+		t.Fatalf("1-CPU host vs 8-CPU baseline should pass, got %v", err)
+	}
+	if err := checkPerfBaseline(snap(8, 0.9), writeBaseline(t, 1, 1.0)); err != nil {
+		t.Fatalf("8-CPU host vs 1-CPU baseline should pass, got %v", err)
+	}
+	// Both multicore-class: the floor gates.
+	if err := checkPerfBaseline(snap(8, 1.2), writeBaseline(t, 8, 3.0)); err == nil {
+		t.Fatal("sub-floor speedup on a class-matched multicore host must fail")
+	}
+	if err := checkPerfBaseline(snap(8, 2.5), writeBaseline(t, 8, 3.0)); err != nil {
+		t.Fatalf("above-floor speedup should pass, got %v", err)
 	}
 }

@@ -165,8 +165,33 @@ func checkPerfBaseline(snap *perfSnapshot, baselinePath string) error {
 			return fmt.Errorf("perf baseline: delta_reduction %.3f below the %.2f floor", r, deltaReductionFloor)
 		}
 	}
+	// Multicore chunk-speedup gate, class-matched on CPU count: the chunked
+	// encode/decode legs are only meaningfully parallel on a ≥4-CPU host, so
+	// the floor applies only when the baseline was recorded on one AND this
+	// host is one — a 1-CPU CI container diffing a workstation baseline (or
+	// vice versa) checks presence/finiteness above but never the ratio.
+	if base.NumCPU >= multicoreClassCPUs && snap.NumCPU >= multicoreClassCPUs {
+		for _, k := range []string{"chunk_encode_speedup", "chunk_decode_speedup"} {
+			if _, ok := base.Derived[k]; !ok {
+				continue
+			}
+			if s := snap.Derived[k]; s < chunkSpeedupFloor {
+				return fmt.Errorf("perf baseline: %s %.2fx below the %.1fx multicore floor (baseline host %d CPUs, this host %d)",
+					k, s, chunkSpeedupFloor, base.NumCPU, snap.NumCPU)
+			}
+		}
+	}
 	return nil
 }
+
+const (
+	// multicoreClassCPUs is the CPU-count class boundary for the chunk
+	// speedup gate: hosts at or above it are "multicore class".
+	multicoreClassCPUs = 4
+	// chunkSpeedupFloor is the minimum chunked-vs-unchunked speedup a
+	// multicore-class host must sustain on the skewed fixture.
+	chunkSpeedupFloor = 2.0
+)
 
 // runPerfSnapshot measures the entropy-stage decoders (table vs reference),
 // the bulk codec APIs, and the SZ2/SZ3 end-to-end paths, then writes the
@@ -344,6 +369,11 @@ func runPerfSnapshot(w io.Writer, outPath, baselinePath string) error {
 
 	// Section-routed sharded ingest at P = 1, 2, 4.
 	if err := measureShardScaling(snap, record); err != nil {
+		return err
+	}
+
+	// Intra-tensor chunk parallelism on the skewed fixture (v4 streams).
+	if err := measureChunkScaling(snap, record); err != nil {
 		return err
 	}
 

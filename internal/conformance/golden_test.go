@@ -89,6 +89,10 @@ type goldenCase struct {
 	// delta encodes the case against goldenDeltaRef at goldenDeltaEpoch —
 	// the v3 cross-round residual format.
 	delta bool
+	// chunkElems sets the intra-tensor chunking target (the v4 format);
+	// 0 leaves chunking at the default, which no golden-dict tensor
+	// crosses.
+	chunkElems int
 	// version is the stream-format version byte the checked-in .fsz must
 	// carry. frozen cases were written by an older encoder and are never
 	// regenerated — -update must not replace a v1 artifact with whatever
@@ -144,6 +148,29 @@ func goldenCases() []goldenCase {
 			delta:   true,
 		})
 	}
+	// v4 corpus: intra-tensor chunked blobs. A 512-element target splits
+	// conv1.weight (4096 elems) into 8 chunks and fc.weight (2000 elems)
+	// into 4, so both the multi-chunk jump-table layout and its delta
+	// composition are locked. Two codecs suffice — the chunk framing is
+	// codec-independent, and each sub-blob is an ordinary codec stream
+	// already covered per-codec by the v2/v3 corpus.
+	for _, lossy := range []string{"sz2", "sz3"} {
+		cases = append(cases, goldenCase{
+			name:       fmt.Sprintf("v4_rel1e-2_chunked_%s", lossy),
+			lossy:      lossy,
+			params:     ebcl.Rel(1e-2),
+			version:    4,
+			chunkElems: 512,
+		})
+		cases = append(cases, goldenCase{
+			name:       fmt.Sprintf("v4_rel1e-2_delta_chunked_%s", lossy),
+			lossy:      lossy,
+			params:     ebcl.Rel(1e-2),
+			version:    4,
+			delta:      true,
+			chunkElems: 512,
+		})
+	}
 	return cases
 }
 
@@ -159,7 +186,7 @@ func regenerate(t *testing.T, gc goldenCase) {
 		t.Fatal(err)
 	}
 	sd := goldenDict(gc.nonFinite)
-	opts := core.Options{Lossy: lossy, LossyParams: gc.params}
+	opts := core.Options{Lossy: lossy, LossyParams: gc.params, ChunkElems: gc.chunkElems}
 	var dopts core.DecodeOptions
 	if gc.delta {
 		sd = goldenDeltaDict()
@@ -254,5 +281,49 @@ func TestGoldenStreams(t *testing.T) {
 				t.Fatal("streaming decode of golden wire stream differs")
 			}
 		})
+	}
+}
+
+// TestChunkThresholdByteIdentity locks the v4 opt-out contract: enabling
+// chunking with a threshold no tensor crosses must emit bytes identical
+// to chunking disabled — the v2 layout absolute, the v3 layout with a
+// reference. A deployment can therefore turn chunking on fleet-wide
+// without bumping the stream version for small models.
+func TestChunkThresholdByteIdentity(t *testing.T) {
+	for _, name := range []string{"sz2", "sz3"} {
+		lossy, err := compressors.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd := goldenDict(false)
+		off, _, err := core.Compress(sd, core.Options{Lossy: lossy, ChunkElems: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, _, err := core.Compress(sd, core.Options{Lossy: lossy, ChunkElems: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(off, on) {
+			t.Fatalf("%s: below-threshold chunked stream differs from v2 bytes", name)
+		}
+		dsd := goldenDeltaDict()
+		dOff, _, err := core.Compress(dsd, core.Options{
+			Lossy: lossy, ChunkElems: -1,
+			Reference: goldenDeltaRef(), RefEpoch: goldenDeltaEpoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOn, _, err := core.Compress(dsd, core.Options{
+			Lossy: lossy, ChunkElems: 1 << 20,
+			Reference: goldenDeltaRef(), RefEpoch: goldenDeltaEpoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dOff, dOn) {
+			t.Fatalf("%s: below-threshold chunked delta stream differs from v3 bytes", name)
+		}
 	}
 }

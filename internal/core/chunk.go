@@ -1,0 +1,368 @@
+package core
+
+// Intra-tensor chunking: the stream-format v4 layer that converts the
+// per-tensor fan-out into wall-clock speedup on skewed state dicts. A real
+// model usually has one dominant tensor (the final FC layer); per-tensor
+// parallelism serializes on it and multicore hosts idle. v4 splits such a
+// tensor into K block-aligned chunks, compresses each as a complete,
+// independently decodable codec stream on the shared pool, and frames them
+// behind a chunk jump table so decode fans out per chunk too.
+//
+// Chunked blob layout, inside a tensor section's ordinary length-prefixed
+// blob area (all integers little-endian / uvarint as noted):
+//
+//	[0]      chunkMagic (0xFC)
+//	uvarint  chunk count C (2..MaxChunks)
+//	[4*C]    per-chunk byte sizes, uint32 LE (the jump table)
+//	[...]    C concatenated sub-blobs, each a complete codec stream
+//
+// The marker byte cannot collide with a plain blob: every registry codec
+// stream opens with a 4-byte little-endian magic whose first byte is
+// 0x02 (sz2), 0x03 (sz3), 0x58 (szx), or 0x31 (zfp) — never 0xFC (the
+// same argument the multi-stream Huffman marker makes one layer down).
+// Chunk parsing is additionally gated on the stream version, so v1–v3
+// decode semantics are untouched byte for byte.
+//
+// Chunk boundaries align to the ebcl.PredictorBlockElems grid (SZ2's
+// per-block predictor-selection granularity), so splitting never changes
+// any block's predictor inputs; encoder and decoder derive the identical
+// split from (elems, C) alone. The split — like the decision to chunk at
+// all — depends only on element counts and Options, never on pool
+// parallelism, so the emitted bytes are reproducible across hosts.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ebcl"
+	"repro/internal/sched"
+)
+
+const (
+	// chunkMagic opens every chunked tensor blob. See the collision
+	// argument in the package comment above.
+	chunkMagic = 0xFC
+
+	// MaxChunks bounds the chunk count a blob may declare. 16 covers any
+	// near-term host (chunks beyond the core count only add framing), and
+	// the decoder sizes its jump-table scratch from it.
+	MaxChunks = 16
+
+	// DefaultChunkElems is the chunking threshold and target chunk size:
+	// tensors above it split into ceil(elems/DefaultChunkElems) chunks
+	// (capped at MaxChunks). 512 Ki elements ≈ 2 MiB of float32 — big
+	// enough that per-chunk Huffman tables and framing are noise, small
+	// enough that a 4M-element FC layer spreads across 8 workers.
+	DefaultChunkElems = 512 << 10
+)
+
+// chunkElemsOf resolves the Options field: 0 selects the default, negative
+// disables chunking.
+func chunkElemsOf(o Options) int {
+	switch {
+	case o.ChunkElems == 0:
+		return DefaultChunkElems
+	case o.ChunkElems < 0:
+		return 0
+	}
+	return o.ChunkElems
+}
+
+// chunkCount returns the number of chunks a tensor of elems elements
+// splits into under the given target (0 disables), clamped to MaxChunks
+// and to the tensor's block count (a chunk must own at least one complete
+// block, so tiny tensors never split). 1 means "do not chunk".
+func chunkCount(elems, targetElems int) int {
+	if targetElems <= 0 || elems <= targetElems {
+		return 1
+	}
+	c := (elems + targetElems - 1) / targetElems
+	if c > MaxChunks {
+		c = MaxChunks
+	}
+	if blocks := (elems + ebcl.PredictorBlockElems - 1) / ebcl.PredictorBlockElems; c > blocks {
+		c = blocks
+	}
+	return c
+}
+
+// chunkBounds returns the [lo, hi) element range of chunk i of chunks over
+// an elems-element tensor. Boundaries fall on the PredictorBlockElems grid
+// (the final chunk absorbs the partial trailing block); blocks distribute
+// as evenly as possible, with the first blocks%chunks chunks carrying one
+// extra block.
+func chunkBounds(elems, chunks, i int) (lo, hi int) {
+	blocks := (elems + ebcl.PredictorBlockElems - 1) / ebcl.PredictorBlockElems
+	base, ext := blocks/chunks, blocks%chunks
+	blockAt := func(k int) int {
+		return (k*base + min(k, ext)) * ebcl.PredictorBlockElems
+	}
+	lo = blockAt(i)
+	hi = blockAt(i + 1)
+	if i == chunks-1 || hi > elems {
+		hi = elems
+	}
+	return lo, hi
+}
+
+// isChunkedBlob reports whether blob uses the chunked layout. Callers gate
+// this on the stream version: only v4 streams may carry chunked blobs.
+func isChunkedBlob(blob []byte) bool {
+	return len(blob) > 0 && blob[0] == chunkMagic
+}
+
+// chunkParams maps the caller's error-control setting onto individual
+// chunks. A REL bound is interpreted against the *whole* tensor's value
+// range (the documented SZ convention), so it must be resolved to an
+// absolute bound before the tensor is split — otherwise each chunk would
+// re-derive the bound from its own range and the error contract would
+// silently change. ABS and PREC settings carry over unchanged. ok is false
+// when the bound cannot be resolved (non-finite data under REL); the
+// caller then falls back to the unchunked path, which preserves the
+// existing behavior for such tensors exactly.
+func chunkParams(data []float32, p ebcl.Params) (ebcl.Params, bool) {
+	if p.Mode != ebcl.ModeRelative {
+		return p, true
+	}
+	eb, err := ebcl.ResolveAbs(data, p)
+	if err != nil || eb <= 0 {
+		return p, false
+	}
+	return ebcl.Abs(eb), true
+}
+
+// appendChunkedBlob compresses data as a chunked blob appended to dst:
+// marker, chunk count, jump table, then each chunk's complete codec
+// stream. The chunks compress concurrently on pool (nil runs serially)
+// into pooled staging buffers and are then concatenated — the memcpy is
+// noise next to the compress itself. p must already be chunk-safe (see
+// chunkParams). On error dst is unmodified, so the caller may retry a
+// different encoding into the same buffer.
+func appendChunkedBlob(pool *sched.Pool, lossy ebcl.Compressor, dst []byte, data []float32, p ebcl.Params, chunks int) ([]byte, error) {
+	subs := make([][]byte, chunks)
+	errs := make([]error, chunks)
+	// Nested caller-runs fan-out: inside an encode worker this shares the
+	// tensor-level budget (chunk-grained work items, no new machinery),
+	// and the caller-runs discipline keeps the nesting deadlock-free.
+	pool.ForEach(chunks, func(i int) {
+		lo, hi := chunkBounds(len(data), chunks, i)
+		buf := sched.GetBytes((hi-lo)/2 + 64)
+		sub, err := lossy.CompressAppend(buf[:0], data[lo:hi], p)
+		if err != nil {
+			sched.PutBytes(buf)
+			errs[i] = err
+			return
+		}
+		subs[i] = sub
+	})
+	for i, err := range errs {
+		if err != nil {
+			for _, s := range subs {
+				if s != nil {
+					sched.PutBytes(s)
+				}
+			}
+			return nil, fmt.Errorf("chunk %d/%d: %w", i, chunks, err)
+		}
+	}
+	dst = append(dst, chunkMagic)
+	dst = binary.AppendUvarint(dst, uint64(chunks))
+	for _, s := range subs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	}
+	for i, s := range subs {
+		dst = append(dst, s...)
+		sched.PutBytes(s)
+		subs[i] = nil
+	}
+	return dst, nil
+}
+
+// compressChunkedSection builds the blob part of one chunked tensor
+// section, appending to buf (which already holds the section metadata, a
+// mode byte at modePos initialized to absolute, and the reserved length
+// prefix at lenPos). When the stream carries a reference it composes with
+// the delta machinery: if the residual looks viable, both the chunked
+// residual and the chunked absolute encodings are produced and the smaller
+// wins — the same per-tensor win policy (and exact DeltaBytesSaved
+// accounting) as the unchunked tryDeltaSection. ok=false means the tensor
+// cannot chunk after all (REL bound unresolvable on non-finite data); the
+// caller then takes the plain unchunked path, which preserves the
+// pre-chunking behavior for such tensors exactly.
+func compressChunkedSection(pool *sched.Pool, o Options, name string, data []float32, buf []byte, modePos, lenPos, chunks int, deltaMode *bool, saved *int) (section []byte, ok bool, err error) {
+	p, ok := chunkParams(data, o.LossyParams)
+	if !ok {
+		return nil, false, nil
+	}
+
+	// Residual candidacy mirrors tryDeltaSection: a same-named, same-sized
+	// reference tensor, a resolvable bound, and a residual strictly tighter
+	// than the data itself.
+	var res []float32
+	var rp ebcl.Params
+	if o.Reference != nil {
+		if rt := o.Reference.Get(name); rt != nil && rt.NumElems() == len(data) {
+			if rpc, rok := residualParams(data, o.LossyParams); rok {
+				r := sched.GetFloats(len(data))[:len(data)]
+				rangeD, rangeR, cok := computeResidual(r, data, rt.Data)
+				if cok && rangeR < rangeD {
+					res, rp = r, rpc
+				} else {
+					sched.PutFloats(r)
+				}
+			}
+		}
+	}
+
+	if res == nil {
+		section, err = appendChunkedBlob(pool, o.Lossy, buf, data, p, chunks)
+		return section, true, err
+	}
+	defer sched.PutFloats(res)
+
+	section, rerr := appendChunkedBlob(pool, o.Lossy, buf, res, rp, chunks)
+	if rerr != nil {
+		// Residual-side codec error: take the absolute path, reproducing
+		// whatever error the caller would have seen without a reference.
+		section, err = appendChunkedBlob(pool, o.Lossy, buf, data, p, chunks)
+		return section, true, err
+	}
+	deltaLen := len(section) - lenPos - ebcl.SectionLenBytes
+	absScratch := sched.GetBytes(len(data)/2 + 64)
+	absBlob, aerr := appendChunkedBlob(pool, o.Lossy, absScratch[:0], data, p, chunks)
+	if aerr != nil {
+		sched.PutBytes(absScratch)
+		section[modePos] = sectionDelta
+		*deltaMode = true
+		return section, true, nil
+	}
+	if len(absBlob) < deltaLen {
+		// Absolute wins: overwrite the residual blob in place (capacity is
+		// guaranteed — the absolute blob is strictly smaller) and leave the
+		// mode byte as initialized.
+		section = append(section[:lenPos+ebcl.SectionLenBytes], absBlob...)
+	} else {
+		section[modePos] = sectionDelta
+		*deltaMode = true
+		*saved = len(absBlob) - deltaLen
+	}
+	sched.PutBytes(absBlob)
+	return section, true, nil
+}
+
+// parseChunkedBlob validates a chunked blob's framing and returns the
+// chunk count plus each chunk's sub-blob as views into blob. The jump
+// table must account for the blob exactly — trailing slack would let
+// corrupted sizes alias each other undetected (the same invariant the
+// multi-stream Huffman jump table enforces).
+func parseChunkedBlob(blob []byte, elems int) (subs [][]byte, err error) {
+	pos := 1 // past chunkMagic
+	c64, k := binary.Uvarint(blob[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: chunk count", ErrCorrupt)
+	}
+	pos += k
+	chunks := int(c64)
+	if chunks < 2 || chunks > MaxChunks {
+		return nil, fmt.Errorf("%w: chunk count %d outside [2,%d]", ErrCorrupt, chunks, MaxChunks)
+	}
+	blocks := (elems + ebcl.PredictorBlockElems - 1) / ebcl.PredictorBlockElems
+	if chunks > blocks {
+		return nil, fmt.Errorf("%w: %d chunks for %d-element tensor", ErrCorrupt, chunks, elems)
+	}
+	if pos+4*chunks > len(blob) {
+		return nil, fmt.Errorf("%w: chunk jump table truncated", ErrCorrupt)
+	}
+	subs = make([][]byte, chunks)
+	off := pos + 4*chunks
+	for i := 0; i < chunks; i++ {
+		sz := int(binary.LittleEndian.Uint32(blob[pos+4*i:]))
+		if sz > len(blob)-off {
+			return nil, fmt.Errorf("%w: chunk %d size %d overruns blob", ErrCorrupt, i, sz)
+		}
+		subs[i] = blob[off : off+sz]
+		off += sz
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("%w: chunk jump table leaves %d trailing bytes", ErrCorrupt, len(blob)-off)
+	}
+	return subs, nil
+}
+
+// decodeBlobInto reconstructs a tensor blob — plain or chunked — into
+// dst's storage (capacity ≥ elems), returning the elems-length result.
+// A non-nil ref is the residual baseline: it is folded back in, in place,
+// per chunk (one pass while the chunk is still cache-warm). chunkedOK
+// gates the chunked layout on the stream version: in v1–v3 streams a 0xFC
+// first byte is codec data and fails the codec's own magic check, exactly
+// as before chunking existed. Chunks decode concurrently on pool (nil
+// runs serially), each into its own disjoint sub-range of dst, so no
+// synchronization beyond the ForEach barrier is needed. Decode + fold time
+// accumulates into work (per chunk, so the fan-out is accounted as summed
+// work, not wall clock); nil skips the accounting.
+func decodeBlobInto(pool *sched.Pool, lossy ebcl.Compressor, dst []float32, blob []byte, elems int, chunkedOK bool, ref []float32, work *atomic.Int64) ([]float32, error) {
+	addWork := func(t0 time.Time) {
+		if work != nil {
+			work.Add(int64(time.Since(t0)))
+		}
+	}
+	if !chunkedOK || !isChunkedBlob(blob) {
+		t0 := time.Now()
+		data, err := lossy.DecompressInto(dst, blob)
+		if err != nil {
+			addWork(t0)
+			return nil, err
+		}
+		if len(data) != elems {
+			addWork(t0)
+			return nil, fmt.Errorf("decoded %d elements, want %d", len(data), elems)
+		}
+		for i, r := range ref {
+			data[i] += r
+		}
+		addWork(t0)
+		return data, nil
+	}
+	subs, err := parseChunkedBlob(blob, elems)
+	if err != nil {
+		return nil, err
+	}
+	full := dst[:elems]
+	errs := make([]error, len(subs))
+	pool.ForEach(len(subs), func(i int) {
+		t0 := time.Now()
+		defer addWork(t0)
+		lo, hi := chunkBounds(elems, len(subs), i)
+		// A zero-length sub-slice anchored at lo with capacity hi-lo: the
+		// codec's DecompressInto reuses this storage when the declared
+		// length fits, landing the chunk exactly in place.
+		part, derr := lossy.DecompressInto(full[lo:lo:hi], subs[i])
+		if derr != nil {
+			errs[i] = fmt.Errorf("chunk %d/%d: %w", i, len(subs), derr)
+			return
+		}
+		if len(part) != hi-lo {
+			errs[i] = fmt.Errorf("chunk %d/%d: decoded %d elements, want %d", i, len(subs), len(part), hi-lo)
+			return
+		}
+		if len(part) > 0 && &part[0] != &full[lo] {
+			// The codec allocated (a corrupt sub-blob declared more
+			// elements than the sub-range holds, then decoded to the right
+			// count after all): land the chunk where it belongs.
+			copy(full[lo:hi], part)
+		}
+		if ref != nil {
+			for j, r := range ref[lo:hi] {
+				full[lo+j] += r
+			}
+		}
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return full, nil
+}

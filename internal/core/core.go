@@ -43,11 +43,22 @@ const (
 	// absolute or residual encoding. The encoder emits v3 only when
 	// Options.Reference is set, so absolute streams stay bit-identical to v2.
 	streamVersionV3 = 3
+	// streamVersionV4 marks streams where at least one tensor blob uses the
+	// chunked layout: the tensor splits into block-aligned chunks, each an
+	// independently decodable codec stream, behind a chunk jump table (see
+	// chunk.go). The header always carries the reference epoch (0 when no
+	// reference was used) and every tensor section carries a mode byte, so
+	// v4 composes with the v3 delta machinery — a chunked residual is just a
+	// chunked blob under mode byte 1. The encoder emits v4 only when a
+	// tensor actually chunks (a decision derived from element counts and
+	// Options alone, never from the pool size), so streams whose tensors
+	// all stay below the chunk threshold remain bit-identical to v2/v3.
+	streamVersionV4 = 4
 
 	pathLossless = 0
 	pathLossy    = 1
 
-	// Tensor-section mode bytes (v3 streams only).
+	// Tensor-section mode bytes (v3/v4 streams only).
 	sectionAbsolute = 0
 	sectionDelta    = 1
 )
@@ -55,10 +66,11 @@ const (
 // supportedStreamVersion reports whether the decoder understands version v.
 // v1 and v2 remain fully decodable: the entropy layer self-describes its
 // blob format and section length prefixes use uvarint semantics either way,
-// so one decode path serves all three versions — v3 only adds the reference
-// epoch and per-section mode byte.
+// so one decode path serves all versions — v3 adds the reference epoch and
+// per-section mode byte, v4 additionally allows chunked tensor blobs.
 func supportedStreamVersion(v byte) bool {
-	return v == streamVersionV1 || v == streamVersion || v == streamVersionV3
+	return v == streamVersionV1 || v == streamVersion || v == streamVersionV3 ||
+		v == streamVersionV4
 }
 
 // ErrCorrupt is returned for malformed FedSZ bitstreams.
@@ -105,6 +117,14 @@ type Options struct {
 	// Reference is nil). Decoders refuse residual sections whose epoch does
 	// not match their own reference (ErrReference).
 	RefEpoch uint32
+	// ChunkElems sets the intra-tensor chunking target: a lossy tensor with
+	// more than this many elements splits into up to MaxChunks block-aligned
+	// chunks that compress (and decode) concurrently, switching the stream
+	// to the v4 format. 0 selects DefaultChunkElems; negative disables
+	// chunking entirely (every stream keeps the v2/v3 layout). The chunk
+	// count is derived from element counts alone, so the emitted bytes are
+	// independent of the pool's parallelism.
+	ChunkElems int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +168,10 @@ type Stats struct {
 	// over their absolute candidates — the per-call slice of the
 	// fedsz_delta_bytes_saved telemetry counter.
 	DeltaBytesSaved int
+
+	// ChunkedTensors counts lossy tensors emitted as chunked (v4) blobs;
+	// 0 means the stream kept the v2/v3 layout.
+	ChunkedTensors int
 
 	// CompressTime is the wall clock of the whole encode, including time
 	// spent blocked writing when streaming through CompressTo.
@@ -267,6 +291,10 @@ type DecompressStats struct {
 	// DeltaTensors counts tensor sections reconstructed as residual + the
 	// supplied reference (always 0 for v1/v2 streams).
 	DeltaTensors int
+	// ChunkedTensors counts tensor sections whose blobs used the chunked
+	// (v4) layout and therefore decoded chunk-parallel (always 0 for
+	// v1–v3 streams).
+	ChunkedTensors int
 }
 
 // DecodeOptions configures reference-aware (v3 delta) decoding. The zero

@@ -75,16 +75,27 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	flags := make([]byte, len(entries))
 	rest := tensor.NewStateDict()
 	type lossyMeta struct {
-		name  string
-		kind  tensor.Kind
-		shape []int
-		data  []float32
+		name   string
+		kind   tensor.Kind
+		shape  []int
+		data   []float32
+		chunks int
 	}
 	var lossyMetas []lossyMeta
+	// Any tensor big enough to chunk switches the whole stream to v4. The
+	// decision is derived from element counts and Options alone — never
+	// from pool parallelism — so the emitted bytes are reproducible; when
+	// nothing chunks the stream stays bit-identical to v2/v3.
+	chunkTarget := chunkElemsOf(o)
+	chunkedStream := false
 	for i, e := range entries {
 		if takesLossyPath(e, o) {
 			flags[i] = pathLossy
-			lossyMetas = append(lossyMetas, lossyMeta{e.Name, e.Kind, e.Tensor.Shape, e.Tensor.Data})
+			chunks := chunkCount(e.Tensor.NumElems(), chunkTarget)
+			if chunks > 1 {
+				chunkedStream = true
+			}
+			lossyMetas = append(lossyMetas, lossyMeta{e.Name, e.Kind, e.Tensor.Shape, e.Tensor.Data, chunks})
 			stats.LossyTensors++
 			stats.LossyRaw += e.Tensor.SizeBytes()
 		} else {
@@ -94,6 +105,10 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			stats.LosslessRaw += e.Tensor.SizeBytes()
 		}
 	}
+	// v4 sections always carry a mode byte, and the v4 header always
+	// carries the reference epoch (0 without a reference) — the v3 layout
+	// with chunked blobs allowed.
+	modeBytes := deltaStream || chunkedStream
 
 	emitSection := func(kind SectionKind, payload []byte) error {
 		t0 := time.Now()
@@ -117,15 +132,24 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 
 	// Header first: a receiver can begin parsing before any blob exists.
 	scratch = binary.LittleEndian.AppendUint32(scratch[:0], streamMagic)
-	if deltaStream {
+	switch {
+	case chunkedStream:
+		scratch = append(scratch, streamVersionV4)
+	case deltaStream:
 		scratch = append(scratch, streamVersionV3)
-	} else {
+	default:
 		scratch = append(scratch, streamVersion)
 	}
 	scratch = appendString(scratch, o.Lossy.Name())
 	scratch = appendString(scratch, o.Lossless.Name())
-	if deltaStream {
-		scratch = binary.LittleEndian.AppendUint32(scratch, o.RefEpoch)
+	if modeBytes {
+		// RefEpoch is documented as ignored without a reference, so a v4
+		// absolute stream pins the field to 0 rather than leaking it.
+		epoch := uint32(0)
+		if deltaStream {
+			epoch = o.RefEpoch
+		}
+		scratch = binary.LittleEndian.AppendUint32(scratch, epoch)
 	}
 	scratch = binary.LittleEndian.AppendUint32(scratch, uint32(len(entries)))
 	scratch = append(scratch, flags...)
@@ -145,6 +169,7 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 	blobs := make([][]byte, n)
 	blobLens := make([]int, n)
 	deltaMode := make([]bool, n)
+	chunked := make([]bool, n)
 	savedBytes := make([]int, n)
 	errs := make([]error, n)
 	done := make([]chan struct{}, n)
@@ -175,10 +200,10 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
 			}
 			modePos := -1
-			if deltaStream {
-				// v3 sections carry a mode byte ahead of the length prefix;
-				// it starts absolute and is flipped only when the residual
-				// encoding wins below.
+			if modeBytes {
+				// v3/v4 sections carry a mode byte ahead of the length
+				// prefix; it starts absolute and is flipped only when the
+				// residual encoding wins below.
 				modePos = len(buf)
 				buf = append(buf, sectionAbsolute)
 			}
@@ -187,11 +212,23 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 
 			var section []byte
 			var err error
-			if deltaStream {
+			if m.chunks > 1 {
+				// Chunked (v4) blob: the chunk jobs fan out on the same
+				// pool, sharing the tensor-level budget. A REL bound on
+				// non-finite data cannot chunk (ok=false) and falls through
+				// to the plain path below, exactly as before chunking.
+				var ok bool
+				section, ok, err = compressChunkedSection(pool, o, m.name, m.data,
+					buf, modePos, lenPos, m.chunks, &deltaMode[i], &savedBytes[i])
+				if ok && err == nil {
+					chunked[i] = true
+				}
+			}
+			if section == nil && err == nil && deltaStream {
 				section = tryDeltaSection(o, m.name, m.data, buf, modePos, lenPos,
 					&deltaMode[i], &savedBytes[i])
 			}
-			if section == nil {
+			if section == nil && err == nil {
 				section, err = o.Lossy.CompressAppend(buf, m.data, o.LossyParams)
 			}
 			if err != nil {
@@ -268,6 +305,9 @@ func CompressSections(ctx context.Context, pool *sched.Pool, sd *tensor.StateDic
 			return nil, fmt.Errorf("core: lossy compress %q: %w", lossyMetas[i].name, err)
 		}
 		stats.LossyCompressed += blobLens[i]
+		if chunked[i] {
+			stats.ChunkedTensors++
+		}
 		if deltaStream {
 			dm := deltaMetrics()
 			if deltaMode[i] {

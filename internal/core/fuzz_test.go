@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -189,6 +190,9 @@ func FuzzDecompress(f *testing.F) {
 	for _, e := range corruptCorpus(f) {
 		f.Add(e.data)
 	}
+	for _, e := range chunkCorruptCorpus(f) {
+		f.Add(e.data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sd, _, err := Decompress(data)
 		if err == nil {
@@ -221,6 +225,131 @@ func TestEBLCStreamCorruption(t *testing.T) {
 			out, err := comp.Decompress(bad)
 			if err == nil && len(out) != len(data) && len(out) > ebcl.MaxElements {
 				t.Fatalf("%s: corrupt stream produced %d elements", name, len(out))
+			}
+		}
+	}
+}
+
+// chunkCorruptCorpus seeds corruptions targeting the v4 chunk jump table:
+// shifted per-chunk sizes, inflated and undersized chunk counts, and
+// truncations that cut inside a chunk sub-blob. Every entry must fail
+// with ErrCorrupt — the jump table is fully validated before any chunk
+// decodes, so none of these can reach a codec with out-of-bounds slices.
+func chunkCorruptCorpus(tb testing.TB) []corpusEntry {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(103, 104))
+	sd := modelDict(rng)
+	stream, _, err := Compress(sd, Options{ChunkElems: 2048})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if stream[4] != streamVersionV4 {
+		tb.Fatalf("fixture stream version %d, want v4", stream[4])
+	}
+	secs, err := Sections(stream)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hdr, err := ParseHeader(secs.Header)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Locate the chunked tensor's blob inside the stream. The blob is the
+	// section's tail (ParseTensorSection enforces no trailing bytes), so
+	// its stream offset is the section end minus the blob length.
+	blobOff := -1
+	var blob []byte
+	off := len(secs.Header)
+	for _, sec := range secs.Tensors {
+		pt, err := ParseTensorSection(hdr, sec)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if isChunkedBlob(pt.Blob) {
+			blobOff = off + len(sec) - len(pt.Blob)
+			blob = pt.Blob
+			break
+		}
+		off += len(sec)
+	}
+	if blobOff < 0 {
+		tb.Fatal("fixture stream has no chunked blob")
+	}
+	chunks, k := binary.Uvarint(blob[1:])
+	if k <= 0 || chunks < 2 {
+		tb.Fatalf("fixture blob chunk count %d", chunks)
+	}
+	countOff := blobOff + 1
+	tableOff := countOff + k
+
+	var corpus []corpusEntry
+	mutate := func(name string, fn func(bad []byte)) {
+		bad := append([]byte(nil), stream...)
+		fn(bad)
+		corpus = append(corpus, corpusEntry{"chunk-" + name, bad, true})
+	}
+	// Chunk counts outside [2, MaxChunks]; zero, one, and inflated all
+	// single-byte uvarints, so the table geometry shifts consistently.
+	mutate("count-zero", func(bad []byte) { bad[countOff] = 0 })
+	mutate("count-one", func(bad []byte) { bad[countOff] = 1 })
+	mutate("count-inflated", func(bad []byte) { bad[countOff] = MaxChunks + 1 })
+	// A count that still parses but exceeds the tensor's block grid.
+	mutate("count-over-blocks", func(bad []byte) { bad[countOff] = MaxChunks })
+	// Jump-table shifts: the sizes must account for the blob exactly, so
+	// ±1 on the first entry leaves a gap or overruns the final chunk.
+	mutate("table-size+1", func(bad []byte) {
+		s := binary.LittleEndian.Uint32(bad[tableOff:])
+		binary.LittleEndian.PutUint32(bad[tableOff:], s+1)
+	})
+	mutate("table-size-1", func(bad []byte) {
+		s := binary.LittleEndian.Uint32(bad[tableOff:])
+		binary.LittleEndian.PutUint32(bad[tableOff:], s-1)
+	})
+	mutate("table-size-huge", func(bad []byte) {
+		binary.LittleEndian.PutUint32(bad[tableOff:], 0xFFFFFFFF)
+	})
+	// Truncations that cut inside the jump table and inside a chunk
+	// sub-blob (the section length prefix now points past the data).
+	for _, cut := range []int{tableOff + 2, tableOff + 4*int(chunks) + 3, blobOff + len(blob)/2} {
+		cut := cut
+		corpus = append(corpus, corpusEntry{
+			fmt.Sprintf("chunk-trunc@%d", cut),
+			append([]byte(nil), stream[:cut]...),
+			true,
+		})
+	}
+	return corpus
+}
+
+// TestDecompressChunkCorruptCorpus: every chunk-targeted corruption fails
+// with ErrCorrupt under serial and parallel decode — never a panic, never
+// a silent wrong dict.
+func TestDecompressChunkCorruptCorpus(t *testing.T) {
+	corpus := chunkCorruptCorpus(t)
+	decoders := []struct {
+		name string
+		run  func([]byte) error
+	}{
+		{"serial", func(b []byte) error { _, _, err := DecompressWith(context.Background(), sched.Serial(), b); return err }},
+		{"pool4", func(b []byte) error {
+			_, _, err := DecompressWith(context.Background(), sched.NewPool(4), b)
+			return err
+		}},
+	}
+	for _, dec := range decoders {
+		for _, e := range corpus {
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s/%s: decompress panicked: %v", dec.name, e.name, r)
+					}
+				}()
+				return dec.run(e.data)
+			}()
+			if err == nil {
+				t.Errorf("%s/%s: corrupt chunked stream decoded without error", dec.name, e.name)
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%s/%s: error %v does not wrap ErrCorrupt", dec.name, e.name, err)
 			}
 		}
 	}

@@ -24,12 +24,13 @@ import (
 // ParsedHeader is the decoded form of a stream's header section — the
 // payload of a wire FrameHeader.
 type ParsedHeader struct {
-	// Version is the stream format version (1, 2, or 3).
+	// Version is the stream format version (1–4).
 	Version byte
 	// LossyName and LosslessName select the codecs by registry name.
 	LossyName    string
 	LosslessName string
-	// RefEpoch is the delta reference epoch (v3 streams only, else 0).
+	// RefEpoch is the delta reference epoch (v3/v4 streams only, else 0; a
+	// v4 stream encoded without a reference pins it to 0).
 	RefEpoch uint32
 	// Flags holds the per-entry path flags in original dict order — a view
 	// into the section, valid only while the section bytes live.
@@ -38,8 +39,15 @@ type ParsedHeader struct {
 	LossyCount int
 }
 
-// IsDelta reports whether tensor sections carry a v3 mode byte.
-func (h *ParsedHeader) IsDelta() bool { return h.Version == streamVersionV3 }
+// IsDelta reports whether tensor sections carry a mode byte (v3 and v4
+// layouts; in a v4 stream encoded without a reference every mode byte is
+// absolute).
+func (h *ParsedHeader) IsDelta() bool {
+	return h.Version == streamVersionV3 || h.Version == streamVersionV4
+}
+
+// Chunked reports whether tensor sections may carry chunked (v4) blobs.
+func (h *ParsedHeader) Chunked() bool { return h.Version == streamVersionV4 }
 
 // ParseHeader parses a header section payload. The returned header's Flags
 // field aliases section.
@@ -185,20 +193,18 @@ func (d *SectionDecoder) DecodeTensor(pt *ParsedTensor, ref []float32) ([]float3
 	if pt.Delta && len(ref) != pt.Elems {
 		return nil, fmt.Errorf("%w: reference lacks matching tensor %q", ErrReference, pt.Name)
 	}
+	if !pt.Delta {
+		ref = nil
+	}
 	dst := sched.GetFloats(pt.Elems)
-	data, err := d.lossy.DecompressInto(dst, pt.Blob)
+	// The shared blob decoder handles plain and chunked (v4) blobs alike
+	// and folds the residual baseline back in when ref is non-nil; a shard
+	// decodes its tensors serially (nil pool), keeping cross-shard
+	// parallelism the scheduler's job.
+	data, err := decodeBlobInto(nil, d.lossy, dst, pt.Blob, pt.Elems, d.hdr.Chunked(), ref, nil)
 	if err != nil {
 		sched.PutFloats(dst)
 		return nil, fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, pt.Name, err)
-	}
-	if len(data) != pt.Elems {
-		sched.PutFloats(data)
-		return nil, fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, pt.Name, len(data), pt.Elems)
-	}
-	if pt.Delta {
-		for i, r := range ref {
-			data[i] += r
-		}
 	}
 	return data, nil
 }

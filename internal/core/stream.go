@@ -62,7 +62,9 @@ func Sections(stream []byte) (*StreamSections, error) {
 	if !supportedStreamVersion(stream[4]) {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
 	}
-	isDelta := stream[4] == streamVersionV3
+	// v3 and v4 headers carry a reference epoch and per-section mode bytes
+	// (v4 pins the epoch to 0 when no reference was used).
+	hasMode := stream[4] == streamVersionV3 || stream[4] == streamVersionV4
 	pos := 5
 	var err error
 	if _, pos, err = readString(stream, pos); err != nil { // lossy name
@@ -71,7 +73,7 @@ func Sections(stream []byte) (*StreamSections, error) {
 	if _, pos, err = readString(stream, pos); err != nil { // lossless name
 		return nil, err
 	}
-	if isDelta {
+	if hasMode {
 		if pos+4 > len(stream) {
 			return nil, ErrCorrupt
 		}
@@ -112,7 +114,7 @@ func Sections(stream []byte) (*StreamSections, error) {
 			return nil, ErrCorrupt
 		}
 		pos += 4 * rank
-		if isDelta {
+		if hasMode {
 			if pos >= len(stream) {
 				return nil, ErrCorrupt
 			}
@@ -321,7 +323,11 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 	if !supportedStreamVersion(hdr[4]) {
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
 	}
-	isDelta := hdr[4] == streamVersionV3
+	// v3/v4 streams carry a reference epoch and per-section mode bytes;
+	// only v4 streams may carry chunked tensor blobs (in v1–v3 a 0xFC
+	// first byte is codec data and fails the codec's own magic check).
+	hasMode := hdr[4] == streamVersionV3 || hdr[4] == streamVersionV4
+	chunkedOK := hdr[4] == streamVersionV4
 	lossyName, err := src.readString("lossy compressor name")
 	if err != nil {
 		return failRead(err)
@@ -331,7 +337,7 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 		return failRead(err)
 	}
 	var refEpoch uint32
-	if isDelta {
+	if hasMode {
 		var eb [4]byte
 		if err := src.readFull(eb[:], "reference epoch"); err != nil {
 			return failRead(err)
@@ -383,6 +389,7 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 	}
 	entries := make([]lossyEntry, nLossy)
 	nDelta := 0
+	var nChunked atomic.Int64
 	var decodeWork atomic.Int64
 	var rest *tensor.StateDict
 	var restErr error
@@ -436,12 +443,12 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 				return fail(fmt.Errorf("%w: tensor %q element count exceeds limit", ErrCorrupt, e.name))
 			}
 		}
-		// v3 sections carry a mode byte; a residual section is only
+		// v3/v4 sections carry a mode byte; a residual section is only
 		// decodable when this decoder holds the same-epoch baseline with a
 		// matching tensor — anything else is a reference mismatch, not
 		// corruption, so the sender can renegotiate an absolute upload.
 		var refData []float32
-		if isDelta {
+		if hasMode {
 			var mb [1]byte
 			if err := src.readFull(mb[:], "tensor mode"); err != nil {
 				return fail(err)
@@ -475,34 +482,23 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 				e.err = cerr
 				return
 			}
-			t0 := time.Now()
 			// The reconstruction lands straight in a pool-backed buffer
 			// sized from the tensor's declared shape — the into-style half
 			// of the codec contract. The buffer stays with the output dict;
-			// a fold-and-discard server recycles it via core.Release.
+			// a fold-and-discard server recycles it via core.Release. A
+			// chunked (v4) blob fans its chunks back out on the pool, and a
+			// residual section folds the baseline back in per chunk — the
+			// decode half of the subtract/add pair.
+			if chunkedOK && isChunkedBlob(blob) {
+				nChunked.Add(1)
+			}
 			dst := sched.GetFloats(e.elems)
-			data, derr := lossy.DecompressInto(dst, blob)
-			decodeWork.Add(int64(time.Since(t0)))
+			data, derr := decodeBlobInto(pool, lossy, dst, blob, e.elems, chunkedOK, refData, &decodeWork)
 			release()
 			if derr != nil {
 				sched.PutFloats(dst)
 				e.err = fmt.Errorf("%w: lossy decompress %q: %w", ErrCorrupt, e.name, derr)
 				return
-			}
-			if len(data) != e.elems {
-				sched.PutFloats(data)
-				e.err = fmt.Errorf("%w: %q decoded %d elements, want %d", ErrCorrupt, e.name, len(data), e.elems)
-				return
-			}
-			if refData != nil {
-				// Residual section: fold the baseline back in, in place in
-				// the pooled reconstruction buffer — the decode half of the
-				// subtract/add pair.
-				t1 := time.Now()
-				for i, r := range refData {
-					data[i] += r
-				}
-				decodeWork.Add(int64(time.Since(t1)))
 			}
 			e.data = data
 		})
@@ -587,5 +583,6 @@ func decompressSource(ctx context.Context, pool *sched.Pool, src streamSource, d
 		FloatPoolMisses: floatMisses1 - floatMisses0,
 		BytesRecycled:   sched.RecycledBytes() - recycled0,
 		DeltaTensors:    nDelta,
+		ChunkedTensors:  int(nChunked.Load()),
 	}, nil
 }

@@ -62,6 +62,16 @@ func Precision(bits int) Params { return Params{Mode: ModeFixedPrecision, Value:
 // ErrCorrupt is returned when a compressed stream fails validation.
 var ErrCorrupt = errors.New("ebcl: corrupt compressed stream")
 
+// PredictorBlockElems is the element granularity of the prediction-based
+// compressors' internal structure: SZ2 partitions its input into blocks of
+// exactly this many elements (per-block Lorenzo-vs-regression selection),
+// and SZ3's interpolation levels are derived from the array length. The
+// core pipeline's intra-tensor chunking (stream-format v4) aligns chunk
+// boundaries to this grid so splitting a tensor never changes a block's
+// predictor inputs — each chunk is then a complete, independently
+// decodable stream of the same codec.
+const PredictorBlockElems = 256
+
 // Compressor is an error-bounded lossy compressor over 1-D float32 arrays
 // (FL model updates are flattened before compression, paper Algorithm 1).
 //

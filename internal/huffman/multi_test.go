@@ -5,10 +5,12 @@ package huffman
 // corrupted sub-stream boundaries.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/bitio"
 	"repro/internal/sched"
 )
 
@@ -237,5 +239,72 @@ func BenchmarkMultiDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 		sched.PutUint16s(out)
+	}
+}
+
+// TestMultiEncodePairPacking re-encodes every sub-stream of a multi blob
+// one symbol per WriteBits push and asserts byte identity with the paired
+// hot loop in EncodeMultiU16 — the pairing is a call-count optimization
+// only and must never change the emitted bitstream.
+func TestMultiEncodePairPacking(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{multiMinSymbols, multiMinSymbols + 1, 4097, 1 << 15} {
+		for _, streams := range []int{2, 4, 7} {
+			syms := quantLikeSymbols(rng, n)
+			blob, err := EncodeMultiU16(syms, quantAlphabet, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Rebuild the codec the encoder derived from these symbols.
+			freqs := make([]uint64, quantAlphabet)
+			for _, v := range syms {
+				freqs[v]++
+			}
+			c := new(Codec)
+			if err := c.initFromFreqs(freqs); err != nil {
+				t.Fatal(err)
+			}
+
+			// Walk the frame to the jump table, then check each sub-stream
+			// against a strictly sequential per-symbol reference encode.
+			pos := 1
+			_, k := binary.Uvarint(blob[pos:])
+			pos += k
+			gotStreams, k := binary.Uvarint(blob[pos:])
+			pos += k
+			if int(gotStreams) != streams {
+				t.Fatalf("blob carries %d streams, want %d", gotStreams, streams)
+			}
+			tblLen, k := binary.Uvarint(blob[pos:])
+			pos += k + int(tblLen)
+			sizes := make([]int, streams)
+			for i := range sizes {
+				sizes[i] = int(binary.LittleEndian.Uint32(blob[pos+4*i:]))
+			}
+			pos += 4 * streams
+
+			base, ext := n/streams, n%streams
+			off := 0
+			for i := 0; i < streams; i++ {
+				cnt := base
+				if i < ext {
+					cnt++
+				}
+				w := bitio.NewWriter(cnt)
+				for _, v := range syms[off : off+cnt] {
+					e := c.enc[v]
+					w.WriteBits(uint64(e>>5), uint(e&entryLenMask))
+				}
+				ref := w.Bytes()
+				got := blob[pos : pos+sizes[i]]
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("n=%d streams=%d: sub-stream %d differs from per-symbol reference", n, streams, i)
+				}
+				pos += sizes[i]
+				off += cnt
+			}
+			sched.PutBytes(blob)
+		}
 	}
 }

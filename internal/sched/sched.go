@@ -223,13 +223,21 @@ func (p *slicePool[T]) get(n int) []T {
 		return make([]T, 0, n)
 	}
 	c := classFor(n)
-	if sp, ok := p.classes[c].Get().(*[]T); ok {
-		s := *sp
-		*sp = nil
-		p.headers.Put(sp)
-		if cap(s) >= n {
-			p.hits.Add(1)
-			return s[:0]
+	// Miss at the home class falls through to one probe of the next class
+	// up: its floor-filed buffers always cover n, and a mixed-size workload
+	// (one dominant tensor plus a tail of small ones) otherwise leaves the
+	// small classes starved while adjacent classes hold idle buffers. The
+	// worst-case handout is 4× the request — bounded, unlike the unclassed
+	// pool this design replaced.
+	for probe := c; probe <= c+1 && probe <= maxClassBits; probe++ {
+		if sp, ok := p.classes[probe].Get().(*[]T); ok {
+			s := *sp
+			*sp = nil
+			p.headers.Put(sp)
+			if cap(s) >= n {
+				p.hits.Add(1)
+				return s[:0]
+			}
 		}
 	}
 	p.misses.Add(1)
@@ -312,15 +320,20 @@ func (p *classedBytePool) get(n int) []byte {
 		return make([]byte, 0, n)
 	}
 	c := classFor(n)
-	if sp, ok := p.classes[c].Get().(*[]byte); ok {
-		s := *sp
-		*sp = nil
-		p.headers.Put(sp)
-		// Floor-capacity filing guarantees cap(s) >= 1<<c >= n; the check is
-		// defensive against a future filing change.
-		if cap(s) >= n {
-			p.hits.Add(1)
-			return s[:0]
+	// One fallback probe of the next class up on a home-class miss — see
+	// slicePool.get for the starvation pattern this breaks and the 4× cap
+	// on handout amplification.
+	for probe := c; probe <= c+1 && probe <= maxClassBits; probe++ {
+		if sp, ok := p.classes[probe].Get().(*[]byte); ok {
+			s := *sp
+			*sp = nil
+			p.headers.Put(sp)
+			// Floor-capacity filing guarantees cap(s) >= 1<<probe >= n; the
+			// check is defensive against a future filing change.
+			if cap(s) >= n {
+				p.hits.Add(1)
+				return s[:0]
+			}
 		}
 	}
 	p.misses.Add(1)

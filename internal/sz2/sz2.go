@@ -29,8 +29,12 @@ import (
 )
 
 const (
-	magic     = 0x535A0002 // "SZ\0\2"
-	blockSize = 256
+	magic = 0x535A0002 // "SZ\0\2"
+	// blockSize is the per-block predictor-selection granularity; it is
+	// pinned to the shared constant so the core pipeline's chunk-aligned
+	// (v4) splits land exactly on block boundaries and per-block predictor
+	// decisions are unchanged by chunking.
+	blockSize = ebcl.PredictorBlockElems
 
 	predLorenzo    = 0
 	predRegression = 1

@@ -29,6 +29,14 @@ const (
 	levelCubic  = 1
 )
 
+// The interpolation level structure is derived from the array length alone,
+// so any split point yields two valid independent streams; the core
+// pipeline's v4 chunking still aligns to ebcl.PredictorBlockElems (shared
+// with SZ2's block grid) so one grid serves every registry codec. Chunking
+// additionally bounds this codec's per-decode scratch — the float64
+// reconstruction grid is sized by the (sub-)stream length — to a chunk
+// rather than the whole tensor.
+
 // Params re-exports ebcl.Params.
 type Params = ebcl.Params
 
